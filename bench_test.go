@@ -1,0 +1,405 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/figures"
+	"repro/internal/matrix"
+	"repro/internal/solve"
+	"repro/internal/sparse"
+	"repro/internal/trisolve"
+)
+
+// Every benchmark regenerates one experiment of DESIGN.md §3 and reports
+// the paper-comparable metrics (systolic steps, PE utilization) alongside
+// wall-clock simulator cost. Data uses small integers so results are exact.
+
+// BenchmarkE1MatVec regenerates the matvec step-count series
+// T = 2wn̄m̄+2w−3 (E1) and the η → ½ utilization series (E3).
+func BenchmarkE1MatVec(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		for _, nm := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("w=%d/nm=%d", w, nm), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				a := matrix.RandomDense(rng, nm*w, w, 3)
+				x := matrix.RandomVector(rng, w, 3)
+				s := core.NewMatVecSolver(w)
+				var last *core.MatVecResult
+				for i := 0; i < b.N; i++ {
+					res, err := s.Solve(a, x, nil, core.MatVecOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				if last.Stats.T != analysis.MatVecSteps(w, nm, 1) {
+					b.Fatalf("T=%d deviates from paper %d", last.Stats.T, analysis.MatVecSteps(w, nm, 1))
+				}
+				b.ReportMetric(float64(last.Stats.T), "steps")
+				b.ReportMetric(last.Stats.Utilization, "utilization")
+			})
+		}
+	}
+}
+
+// BenchmarkE2MatVecOverlap regenerates the overlapped series
+// T = wn̄m̄+2w−2 (E2) and η → 1 (E4).
+func BenchmarkE2MatVecOverlap(b *testing.B) {
+	for _, w := range []int{3, 5} {
+		for _, nm := range []int{4, 16} {
+			b.Run(fmt.Sprintf("w=%d/nm=%d", w, nm), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(2))
+				a := matrix.RandomDense(rng, nm*w, w, 3)
+				x := matrix.RandomVector(rng, w, 3)
+				s := core.NewMatVecSolver(w)
+				var last *core.MatVecResult
+				for i := 0; i < b.N; i++ {
+					res, err := s.Solve(a, x, nil, core.MatVecOptions{Overlap: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				if last.Stats.T != analysis.MatVecStepsOverlap(w, nm, 1) {
+					b.Fatalf("T=%d deviates from paper %d", last.Stats.T, analysis.MatVecStepsOverlap(w, nm, 1))
+				}
+				b.ReportMetric(float64(last.Stats.T), "steps")
+				b.ReportMetric(last.Stats.Utilization, "utilization")
+			})
+		}
+	}
+}
+
+// BenchmarkE5MatMul regenerates the matmul step-count series
+// T = 3wp̄n̄m̄+4w−5 (E5) and η → ⅓ (E6) on the hexagonal array.
+func BenchmarkE5MatMul(b *testing.B) {
+	for _, w := range []int{2, 3, 4} {
+		for _, pnm := range [][3]int{{1, 1, 1}, {2, 2, 2}} {
+			nb, pb, mb := pnm[0], pnm[1], pnm[2]
+			b.Run(fmt.Sprintf("w=%d/pnm=%d", w, nb*pb*mb), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(3))
+				am := matrix.RandomDense(rng, nb*w, pb*w, 2)
+				bm := matrix.RandomDense(rng, pb*w, mb*w, 2)
+				s := core.NewMatMulSolver(w)
+				var last *core.MatMulResult
+				for i := 0; i < b.N; i++ {
+					res, err := s.Solve(am, bm, core.MatMulOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				if last.Stats.T != analysis.MatMulSteps(w, pb, nb, mb) {
+					b.Fatalf("T=%d deviates from paper %d", last.Stats.T, analysis.MatMulSteps(w, pb, nb, mb))
+				}
+				b.ReportMetric(float64(last.Stats.T), "steps")
+				b.ReportMetric(last.Stats.Utilization, "utilization")
+			})
+		}
+	}
+}
+
+// BenchmarkE7FeedbackDelays measures the feedback edges of a matmul run
+// (regular w and 2w; irregular region-crossing) — experiment E7/E8.
+func BenchmarkE7FeedbackDelays(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	w := 3
+	am := matrix.RandomDense(rng, 2*w, 2*w, 2)
+	bm := matrix.RandomDense(rng, 2*w, 3*w, 2)
+	s := core.NewMatMulSolver(w)
+	var last *core.MatMulResult
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(am, bm, core.MatMulOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	maxReg := 0
+	for d := range last.Stats.RegularDelays {
+		if d > maxReg {
+			maxReg = d
+		}
+	}
+	b.ReportMetric(float64(maxReg), "max-regular-delay")
+	maxIrr := 0
+	for d := range last.Stats.IrregularDelays {
+		if d > maxIrr {
+			maxIrr = d
+		}
+	}
+	b.ReportMetric(float64(maxIrr), "max-irregular-delay")
+}
+
+// BenchmarkE9Baselines runs the three comparison schemes on the same
+// problem — experiment E9.
+func BenchmarkE9Baselines(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	w, n, m := 4, 16, 16
+	a := matrix.RandomDense(rng, n, m, 3)
+	x := matrix.RandomVector(rng, m, 3)
+	b.Run("dbt", func(b *testing.B) {
+		s := core.NewMatVecSolver(w)
+		var last *core.MatVecResult
+		for i := 0; i < b.N; i++ {
+			res, err := s.Solve(a, x, nil, core.MatVecOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.Stats.T), "steps")
+		b.ReportMetric(last.Stats.Utilization, "utilization")
+	})
+	b.Run("blockflush", func(b *testing.B) {
+		var last *baseline.Result
+		for i := 0; i < b.N; i++ {
+			last = baseline.BlockFlush(a, x, nil, w)
+		}
+		b.ReportMetric(float64(last.T), "steps")
+		b.ReportMetric(last.Utilization, "utilization")
+		b.ReportMetric(float64(last.ExternalOps), "external-ops")
+	})
+	b.Run("directband", func(b *testing.B) {
+		var last *baseline.Result
+		for i := 0; i < b.N; i++ {
+			last = baseline.DirectBand(a, x, nil)
+		}
+		b.ReportMetric(float64(last.T), "steps")
+		b.ReportMetric(last.Utilization, "utilization")
+		b.ReportMetric(float64(last.ArraySize), "PEs")
+	})
+}
+
+// BenchmarkE10Sparse regenerates the sparsity ablation at three densities.
+func BenchmarkE10Sparse(b *testing.B) {
+	for _, density := range []float64{0.25, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("density=%.2f", density), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			w, nb, mb := 4, 6, 6
+			a := matrix.NewDense(nb*w, mb*w)
+			for br := 0; br < nb; br++ {
+				for bs := 0; bs < mb; bs++ {
+					if rng.Float64() < density {
+						for i := 0; i < w; i++ {
+							for j := 0; j < w; j++ {
+								a.Set(br*w+i, bs*w+j, float64(rng.Intn(9)-4))
+							}
+						}
+					}
+				}
+			}
+			x := matrix.RandomVector(rng, mb*w, 3)
+			tr := sparse.NewMatVec(a, w)
+			var last *sparse.Result
+			for i := 0; i < b.N; i++ {
+				res, err := tr.Solve(x, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.T), "steps")
+			b.ReportMetric(tr.Density(), "density")
+		})
+	}
+}
+
+// BenchmarkF3Trace regenerates the Fig. 3 data-flow example (39 steps).
+func BenchmarkF3Trace(b *testing.B) {
+	var last *figures.Fig3Streams
+	for i := 0; i < b.N; i++ {
+		st, err := figures.Fig3Data(6, 9, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	if last.T != 39 {
+		b.Fatalf("Fig.3 T=%d, want 39", last.T)
+	}
+	b.ReportMetric(float64(last.T), "steps")
+}
+
+// BenchmarkTransform isolates the cost of the DBT transformations
+// themselves (no simulation) — the paper's "low generation difficulties"
+// requirement (§1a).
+func BenchmarkTransform(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	b.Run("matvec-band/n=64/w=8", func(b *testing.B) {
+		a := matrix.RandomDense(rng, 64, 64, 3)
+		for i := 0; i < b.N; i++ {
+			t := dbt.NewMatVec(a, 8)
+			if t.Band() == nil {
+				b.Fatal("nil band")
+			}
+		}
+	})
+	b.Run("matmul-bands/n=16/w=4", func(b *testing.B) {
+		am := matrix.RandomDense(rng, 16, 16, 3)
+		bm := matrix.RandomDense(rng, 16, 16, 3)
+		for i := 0; i < b.N; i++ {
+			t := dbt.NewMatMul(am, bm, 4)
+			if t.AHatBand() == nil || t.BHatBand() == nil {
+				b.Fatal("nil band")
+			}
+		}
+	})
+}
+
+// BenchmarkSolvers exercises the §4 extension solvers end to end.
+func BenchmarkSolvers(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	n := 12
+	a := matrix.RandomDense(rng, n, n, 2)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 30)
+	}
+	d := matrix.RandomVector(rng, n, 5)
+	b.Run("jacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solve.Jacobi(a, d, 4, 200, 1e-8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gauss-seidel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := solve.GaussSeidel(a, d, 4, 200, 1e-8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11Variants regenerates the §4 variant comparison: by-columns
+// feedback delay (2n̄−1)w vs by-rows w, at identical T.
+func BenchmarkE11Variants(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	w, nb, mb := 3, 4, 3
+	a := matrix.RandomDense(rng, nb*w, mb*w, 3)
+	x := matrix.RandomVector(rng, mb*w, 3)
+	s := core.NewMatVecSolver(w)
+	for _, mode := range []struct {
+		name string
+		opts core.MatVecOptions
+	}{
+		{"byrows", core.MatVecOptions{}},
+		{"bycolumns", core.MatVecOptions{ByColumns: true}},
+		{"lowerband", core.MatVecOptions{LowerBand: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *core.MatVecResult
+			for i := 0; i < b.N; i++ {
+				res, err := s.Solve(a, x, nil, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(last.Stats.T), "steps")
+			if len(last.Stats.FeedbackDelays) > 0 {
+				b.ReportMetric(float64(last.Stats.FeedbackDelays[0]), "feedback-delay")
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulOverlap3 measures the 3-way hexagonal overlap (extension):
+// three problems in barely more time than one.
+func BenchmarkMatMulOverlap3(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	w := 3
+	s := core.NewMatMulSolver(w)
+	var as, bs []*matrix.Dense
+	for i := 0; i < 3; i++ {
+		as = append(as, matrix.RandomDense(rng, 2*w, 2*w, 2))
+		bs = append(bs, matrix.RandomDense(rng, 2*w, 2*w, 2))
+	}
+	var stats *core.MatMulStats
+	for i := 0; i < b.N; i++ {
+		_, st, err := s.SolveMany(as, bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = st
+	}
+	b.ReportMetric(float64(stats.T), "steps")
+	b.ReportMetric(stats.Utilization, "utilization")
+}
+
+// BenchmarkTriSolve measures the dedicated triangular-solver array (band
+// pass, 2n+w−2 steps) and the blocked dense solver built on it.
+func BenchmarkTriSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	w, n := 4, 32
+	l := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, float64(rng.Intn(5)-2))
+		}
+		l.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	d := l.MulVec(matrix.RandomVector(rng, n, 3), nil)
+	s := trisolve.NewSolver(w)
+	var last *trisolve.DenseResult
+	for i := 0; i < b.N; i++ {
+		res, err := s.SolveLower(l, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.TriSteps), "tri-steps")
+	b.ReportMetric(float64(last.MatVecSteps), "matvec-steps")
+}
+
+// BenchmarkBlockLU measures the LU factorization with array trailing
+// updates (§4 extension).
+func BenchmarkBlockLU(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	w, n := 4, 24
+	a := matrix.RandomDense(rng, n, n, 2)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 25)
+	}
+	var stats *solve.LUStats
+	for i := 0; i < b.N; i++ {
+		_, _, st, err := solve.BlockLU(a, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = st
+	}
+	b.ReportMetric(float64(stats.ArraySteps), "array-steps")
+	b.ReportMetric(float64(stats.HostOps), "host-ops")
+}
+
+// BenchmarkHexScale measures simulator cost growth with problem size (the
+// simulation substrate itself, not a paper claim).
+func BenchmarkHexScale(b *testing.B) {
+	for _, pnm := range []int{1, 8, 27} {
+		b.Run(fmt.Sprintf("pnm=%d", pnm), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(9))
+			w := 3
+			side := 1
+			for side*side*side < pnm {
+				side++
+			}
+			am := matrix.RandomDense(rng, side*w, side*w, 2)
+			bm := matrix.RandomDense(rng, side*w, side*w, 2)
+			s := core.NewMatMulSolver(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(am, bm, core.MatMulOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+// Command figures regenerates the paper's Figs. 1–6 and the appendix
+// tables as text renderings.
+//
+// Usage:
+//
+//	figures              # print all six figures
+//	figures -fig 3       # print one figure
+//	figures -appendix    # print the appendix I/O index tables (Fig. 4 shape)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 1-6 (0 = all)")
+	appendix := flag.Bool("appendix", false, "print the appendix I-composition and C-extraction tables")
+	flag.Parse()
+	if *appendix {
+		fmt.Println(figures.Appendix())
+		return
+	}
+	render := map[int]func() string{
+		1: figures.Fig1,
+		2: figures.Fig2,
+		3: figures.Fig3,
+		4: figures.Fig4,
+		5: figures.Fig5,
+		6: figures.Fig6,
+	}
+	if *fig != 0 {
+		f, ok := render[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (want 1-6)\n", *fig)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+		return
+	}
+	for i := 1; i <= 6; i++ {
+		fmt.Println(render[i]())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,84 @@
+// Gaussseidel: the iterative method the paper's conclusions name as a
+// further application of the methodology (§4). A 1-D Poisson problem
+// −u″ = f is discretized to a linear system and solved by block
+// Gauss–Seidel sweeps whose matrix–vector work runs through a fixed 4-PE
+// DBT linear array; Jacobi runs as a comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/solve"
+)
+
+func main() {
+	const (
+		n      = 24 // interior grid points — unrelated to the array size
+		arrayW = 4  // fixed linear array
+		tol    = 1e-9
+	)
+
+	// Discrete Laplacian (tridiagonal, diagonally dominant) and a smooth
+	// right-hand side f(x) = sin(πx) scaled by h².
+	a := matrix.NewDense(n, n)
+	d := matrix.NewVector(n)
+	h := 1.0 / float64(n+1)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 2)
+		if i > 0 {
+			a.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			a.Set(i, i+1, -1)
+		}
+		xi := float64(i+1) * h
+		d[i] = h * h * math.Sin(math.Pi*xi)
+	}
+
+	gsX, gsStats, err := solve.GaussSeidel(a, d, arrayW, 10000, tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jX, jStats, err := solve.Jacobi(a, d, arrayW, 10000, tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("1-D Poisson, %d unknowns, on a %d-PE DBT array:\n", n, arrayW)
+	fmt.Printf("  Gauss-Seidel: %4d sweeps, residual %.1e, %8d array steps\n",
+		gsStats.Sweeps, gsStats.Residual, gsStats.ArraySteps)
+	fmt.Printf("  Jacobi:       %4d sweeps, residual %.1e, %8d array steps\n",
+		jStats.Sweeps, jStats.Residual, jStats.ArraySteps)
+	fmt.Printf("  solutions agree to %.1e\n", gsX.MaxAbsDiff(jX))
+
+	// The analytic solution of −u″ = sin(πx) is sin(πx)/π²; compare shape.
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		xi := float64(i+1) * h
+		exact := math.Sin(math.Pi*xi) / (math.Pi * math.Pi)
+		if e := math.Abs(gsX[i] - exact); e > worst {
+			worst = e
+		}
+	}
+	fmt.Printf("  max error vs analytic solution: %.2e (O(h²) discretization)\n", worst)
+
+	fmt.Println("\n  u(x) profile (array-computed):")
+	for i := 0; i < n; i += 2 {
+		bar := int(gsX[i] * 400)
+		fmt.Printf("  x=%.2f %s\n", float64(i+1)*h, stars(bar))
+	}
+}
+
+func stars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

@@ -1,0 +1,60 @@
+// Sparsity: the paper's §4 extension — a block-sparse matrix (here the
+// arrow-shaped connectivity of a hub-and-spoke network) multiplies a vector
+// on a fixed array, with all-zero w×w blocks excluded from the band. Total
+// steps drop roughly with block density while the result stays exact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+func main() {
+	const (
+		arrayW = 4
+		nb     = 10 // block grid: 10×10 blocks of 4×4
+	)
+	rng := rand.New(rand.NewSource(3))
+
+	// Arrow matrix: dense first block row/column (the hub) + block diagonal
+	// (local links). Density = (3·nb − 2)/nb².
+	n := nb * arrayW
+	a := matrix.NewDense(n, n)
+	fill := func(br, bs int) {
+		for i := 0; i < arrayW; i++ {
+			for j := 0; j < arrayW; j++ {
+				a.Set(br*arrayW+i, bs*arrayW+j, float64(rng.Intn(9)-4))
+			}
+		}
+	}
+	for b := 0; b < nb; b++ {
+		fill(0, b)
+		fill(b, 0)
+		fill(b, b)
+	}
+	x := matrix.RandomVector(rng, n, 4)
+
+	tr := sparse.NewMatVec(a, arrayW)
+	res, err := tr.Solve(x, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	denseT := analysis.MatVecSteps(arrayW, nb, nb)
+	fmt.Printf("arrow matrix %d×%d on a %d-PE array:\n", n, n, arrayW)
+	fmt.Printf("  retained blocks Q = %d of %d (density %.2f)\n", res.Q, nb*nb, tr.Density())
+	fmt.Printf("  exact result: %v\n", res.Y.Equal(a.MulVec(x, nil), 0))
+	fmt.Printf("  steps: %d sparse vs %d dense DBT — %.2fx faster\n",
+		res.T, denseT, float64(denseT)/float64(res.T))
+	fmt.Printf("  (predicted sparse schedule: %d steps)\n", tr.PredictedSteps())
+
+	// Per-row-band retained pattern.
+	fmt.Println("  retained column blocks per row band:")
+	for r, cols := range tr.Retained {
+		fmt.Printf("    band %d: %v\n", r, cols)
+	}
+}

@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/matrix"
+)
+
+// TestPaperEndToEnd walks the paper's whole argument on its own running
+// example (n=6, m=9, w=3) and the Fig. 4 matmul shape: the fixed arrays
+// compute the dense problems exactly, in exactly the predicted step counts,
+// with exactly the predicted feedback behaviour, beating the
+// no-transformation alternatives.
+func TestPaperEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1986))
+
+	// §2 example: y = A·x + b, A 6×9 on a 3-PE array.
+	a := matrix.RandomDense(rng, 6, 9, 4)
+	x := matrix.RandomVector(rng, 9, 4)
+	b := matrix.RandomVector(rng, 6, 4)
+	mv, err := core.NewMatVecSolver(3).Solve(a, x, b, core.MatVecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Y.Equal(a.MulVec(x, b), 0) {
+		t.Error("matvec result not exact")
+	}
+	if mv.Stats.T != 39 {
+		t.Errorf("T=%d, want the paper's 39", mv.Stats.T)
+	}
+	for _, d := range mv.Stats.FeedbackDelays {
+		if d != 3 {
+			t.Errorf("feedback delay %d, want w=3", d)
+		}
+	}
+
+	// The overlapped version (dotted line of Fig. 2b): 22 steps.
+	over, err := core.NewMatVecSolver(3).Solve(a, x, b, core.MatVecOptions{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Stats.T != 22 {
+		t.Errorf("overlapped T=%d, want the paper's 22", over.Stats.T)
+	}
+	if !over.Y.Equal(mv.Y, 0) {
+		t.Error("overlap changed the result")
+	}
+
+	// Fig. 3: the data flow trace has the published structure.
+	st, err := figures.Fig3Data(6, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.T != 39 {
+		t.Errorf("Fig.3 T=%d", st.T)
+	}
+
+	// §3 example: C = A·B + E with n̄=2, p̄=2, m̄=3 on a 3×3 hexagonal
+	// array: 115 steps, regular feedback w and 2w.
+	am := matrix.RandomDense(rng, 6, 6, 3)
+	bm := matrix.RandomDense(rng, 6, 9, 3)
+	em := matrix.RandomDense(rng, 6, 9, 3)
+	mm, err := core.NewMatMulSolver(3).Solve(am, bm, core.MatMulOptions{E: em})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mm.C.Equal(am.Mul(bm).AddM(em), 0) {
+		t.Error("matmul result not exact")
+	}
+	if want := analysis.MatMulSteps(3, 2, 2, 3); mm.Stats.T != want || want != 115 {
+		t.Errorf("matmul T=%d, want 115", mm.Stats.T)
+	}
+	for d := range mm.Stats.RegularDelays {
+		if d != 3 && d != 6 {
+			t.Errorf("regular delay %d, want w or 2w", d)
+		}
+	}
+
+	// §1 motivation: without DBT the same matvec needs a problem-sized
+	// array (14 PEs for 6×9) at collapsed utilization.
+	direct := baseline.DirectBand(a, x, b)
+	if direct.ArraySize != 14 {
+		t.Errorf("direct band needs %d PEs, want n+m−1 = 14", direct.ArraySize)
+	}
+	if direct.Utilization >= mv.Stats.Utilization {
+		t.Error("direct band should not beat DBT utilization")
+	}
+}
+
+// TestSizeIndependence is the titular claim: one fixed array, many problem
+// sizes, all exact, all at the formula's step count.
+func TestSizeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	const w = 4
+	mv := core.NewMatVecSolver(w)
+	mm := core.NewMatMulSolver(w)
+	for _, n := range []int{1, 3, 7, 12, 25} {
+		for _, m := range []int{2, 9, 17} {
+			a := matrix.RandomDense(rng, n, m, 3)
+			x := matrix.RandomVector(rng, m, 3)
+			res, err := mv.Solve(a, x, nil, core.MatVecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Y.Equal(a.MulVec(x, nil), 0) || res.Stats.T != res.Stats.PredictedT {
+				t.Errorf("matvec %d×%d on fixed %d-PE array failed", n, m, w)
+			}
+		}
+	}
+	for _, shape := range [][3]int{{1, 5, 9}, {10, 3, 6}, {13, 13, 13}} {
+		n, p, m := shape[0], shape[1], shape[2]
+		a := matrix.RandomDense(rng, n, p, 2)
+		b := matrix.RandomDense(rng, p, m, 2)
+		res, err := mm.Solve(a, b, core.MatMulOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.C.Equal(a.Mul(b), 0) || res.Stats.T != res.Stats.PredictedT {
+			t.Errorf("matmul %v on fixed %d×%d array failed", shape, w, w)
+		}
+	}
+}

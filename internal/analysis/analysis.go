@@ -1,0 +1,96 @@
+// Package analysis holds the paper's closed-form performance model: step
+// counts T, PE utilizations η = N/(A·T) and feedback register demands, as
+// functions of the array size w and the block-grid coefficients
+// n̄ = ⌈n/w⌉, m̄ = ⌈m/w⌉, p̄ = ⌈p/w⌉. The simulators measure the same
+// quantities; the E1–E8 experiments compare the two.
+package analysis
+
+// MatVecSteps returns T = 2w·n̄·m̄ + 2w − 3, the matrix–vector step count
+// without overlapping (paper §2).
+func MatVecSteps(w, nbar, mbar int) int { return 2*w*nbar*mbar + 2*w - 3 }
+
+// MatVecStepsOverlap returns T = w·n̄·m̄ + 2w − 2, the step count when the
+// transformed problem is split into two interleaved sub-problems (paper §2).
+func MatVecStepsOverlap(w, nbar, mbar int) int { return w*nbar*mbar + 2*w - 2 }
+
+// MatVecUtilization returns η = 1/(2 + 2/(n̄m̄) − 3/(w·n̄m̄)), the PE
+// utilization of the linear array without overlapping; it approaches ½ as
+// n̄m̄ grows (paper §2).
+func MatVecUtilization(w, nbar, mbar int) float64 {
+	nm := float64(nbar * mbar)
+	return 1 / (2 + 2/nm - 3/(float64(w)*nm))
+}
+
+// MatVecUtilizationOverlap returns η = 1/(1 + 2/(n̄m̄) − 2/(w·n̄m̄)), which
+// approaches 1 (paper §2).
+func MatVecUtilizationOverlap(w, nbar, mbar int) float64 {
+	nm := float64(nbar * mbar)
+	return 1 / (1 + 2/nm - 2/(float64(w)*nm))
+}
+
+// MatVecFeedbackDelay returns the constant feedback delay of DBT-by-rows:
+// the array size w, realizable with w registers (paper §2).
+func MatVecFeedbackDelay(w int) int { return w }
+
+// MatMulSteps returns T = 3w·p̄·n̄·m̄ + 4w − 5, the matrix–matrix step count
+// on the w×w hexagonal array (paper §3). The array's compute span is
+// 3w·p̄n̄m̄ + 3w − 5 cycles (first to last MAC inclusive); the final result
+// block then drains through the w-stage feedback registers, giving the
+// paper's total. MatMulComputeSpan reports the former.
+func MatMulSteps(w, pbar, nbar, mbar int) int { return 3*w*pbar*nbar*mbar + 4*w - 5 }
+
+// MatMulComputeSpan returns the first-to-last-MAC span of the hexagonal
+// array, 3w·p̄n̄m̄ + 3w − 5 (see MatMulSteps).
+func MatMulComputeSpan(w, pbar, nbar, mbar int) int { return 3*w*pbar*nbar*mbar + 3*w - 5 }
+
+// MatMulUtilization returns η = 1/(3 + 4/(p̄n̄m̄) − 5/(w·p̄n̄m̄)), which
+// approaches ⅓, the hexagonal array's inherent maximum (paper §3).
+func MatMulUtilization(w, pbar, nbar, mbar int) float64 {
+	pnm := float64(pbar * nbar * mbar)
+	return 1 / (3 + 4/pnm - 5/(float64(w)*pnm))
+}
+
+// MatMulIrregularDelayU returns 6(w−1)(n̄−1)p̄ + w, the feedback delay of
+// the last partial result when the U_{0,j} chains cross a region boundary
+// (paper §3).
+func MatMulIrregularDelayU(w, nbar, pbar int) int { return 6*(w-1)*(nbar-1)*pbar + w }
+
+// MatMulIrregularDelayL returns 6(n̄p̄)(m̄−1)(w−1) + w, the feedback delay
+// of the last partial result of the L_{n̄−1,0} chain (paper §3).
+func MatMulIrregularDelayL(w, nbar, pbar, mbar int) int {
+	return 6*nbar*pbar*(mbar-1)*(w-1) + w
+}
+
+// MatMulRegisterDemand returns the paper's feedback storage accounting for
+// the hexagonal array: 2w memory elements for the main diagonal, w for each
+// of the w−1 sub-diagonal pairs, and 3w(w−1)/2 for the irregular feedbacks
+// (paper §3).
+func MatMulRegisterDemand(w int) (mainDiag, perSubDiagPair, irregular int) {
+	return 2 * w, w, w * (w - 1) * 3 / 2
+}
+
+// MatVecOps returns the padded operation count N = n̄·m̄·w² that the
+// utilization formulas assume (every band position holds one MAC).
+func MatVecOps(w, nbar, mbar int) int { return nbar * mbar * w * w }
+
+// MatMulOps returns the padded operation count N = p̄·n̄·m̄·w³.
+func MatMulOps(w, pbar, nbar, mbar int) int { return pbar * nbar * mbar * w * w * w }
+
+// ByColumnsFeedbackDelay returns (2n̄−1)·w, the feedback register chain of
+// the column-major DBT variant — the §4 trade-off against the by-rows
+// constant w (experiment E11).
+func ByColumnsFeedbackDelay(w, nbar int) int { return (2*nbar - 1) * w }
+
+// TriSolveSteps returns 2n + w − 2, the step count of the band triangular
+// solver array for an n-row system.
+func TriSolveSteps(n, w int) int { return 2*n + w - 2 }
+
+// FlushSpeedup returns the asymptotic step-count advantage of DBT over the
+// block-flush baseline, n̄m̄(4w−3) / (2w·n̄m̄+2w−3) → (4w−3)/(2w) ≈ 2.
+func FlushSpeedup(w, nbar, mbar int) float64 {
+	return float64(nbar*mbar*(4*w-3)) / float64(MatVecSteps(w, nbar, mbar))
+}
+
+// DirectBandPEs returns n+m−1: the array size the no-transformation
+// baseline needs for a dense n×m matrix (the size dependence DBT removes).
+func DirectBandPEs(n, m int) int { return n + m - 1 }

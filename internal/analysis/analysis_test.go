@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperHeadlineNumbers(t *testing.T) {
+	// The Fig. 2/3 example: w=3, n̄=2, m̄=3.
+	if got := MatVecSteps(3, 2, 3); got != 39 {
+		t.Errorf("MatVecSteps = %d, want 39", got)
+	}
+	if got := MatVecStepsOverlap(3, 2, 3); got != 22 {
+		t.Errorf("MatVecStepsOverlap = %d, want 22", got)
+	}
+	// The Fig. 4 example: w=3, n̄=2, p̄=2, m̄=3.
+	if got := MatMulSteps(3, 2, 2, 3); got != 115 {
+		t.Errorf("MatMulSteps = %d, want 115", got)
+	}
+	if got := MatMulComputeSpan(3, 2, 2, 3); got != 115-3 {
+		t.Errorf("MatMulComputeSpan = %d, want 112", got)
+	}
+}
+
+// TestUtilizationIdentity: η as printed in the paper equals N/(A·T) with
+// N the padded op count — for every parameter combination.
+func TestUtilizationIdentity(t *testing.T) {
+	f := func(w8, n8, m8, p8 uint8) bool {
+		w := int(w8%6) + 1
+		nb := int(n8%5) + 1
+		mb := int(m8%5) + 1
+		pb := int(p8%5) + 1
+		mv := MatVecUtilization(w, nb, mb)
+		mvRef := float64(MatVecOps(w, nb, mb)) / (float64(w) * float64(MatVecSteps(w, nb, mb)))
+		mm := MatMulUtilization(w, pb, nb, mb)
+		mmRef := float64(MatMulOps(w, pb, nb, mb)) / (float64(w*w) * float64(MatMulSteps(w, pb, nb, mb)))
+		return math.Abs(mv-mvRef) < 1e-12 && math.Abs(mm-mmRef) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOverlapIdentity: the overlapped utilization formula equals
+// N/(A·T_overlap).
+func TestOverlapIdentity(t *testing.T) {
+	f := func(w8, n8, m8 uint8) bool {
+		w := int(w8%6) + 1
+		nb := int(n8%5) + 1
+		mb := int(m8%5) + 1
+		u := MatVecUtilizationOverlap(w, nb, mb)
+		ref := float64(MatVecOps(w, nb, mb)) / (float64(w) * float64(MatVecStepsOverlap(w, nb, mb)))
+		return math.Abs(u-ref) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAsymptotes: η → ½ (matvec), → 1 (overlap), → ⅓ (matmul) as the block
+// product grows (paper §2, §3).
+func TestAsymptotes(t *testing.T) {
+	w := 5
+	if u := MatVecUtilization(w, 100, 100); math.Abs(u-0.5) > 1e-3 {
+		t.Errorf("matvec asymptote %g, want ≈ 0.5", u)
+	}
+	if u := MatVecUtilizationOverlap(w, 100, 100); math.Abs(u-1) > 1e-3 {
+		t.Errorf("overlap asymptote %g, want ≈ 1", u)
+	}
+	if u := MatMulUtilization(w, 20, 20, 20); math.Abs(u-1.0/3) > 1e-3 {
+		t.Errorf("matmul asymptote %g, want ≈ 1/3", u)
+	}
+	// Monotone in the block product.
+	if MatVecUtilization(w, 2, 2) >= MatVecUtilization(w, 4, 4) {
+		t.Error("matvec utilization not increasing")
+	}
+}
+
+func TestDelaysAndDemand(t *testing.T) {
+	if MatVecFeedbackDelay(7) != 7 {
+		t.Error("matvec feedback delay must equal w")
+	}
+	if got := MatMulIrregularDelayU(3, 2, 2); got != 6*2*1*2+3 {
+		t.Errorf("irregular U delay %d", got)
+	}
+	if got := MatMulIrregularDelayL(3, 2, 2, 3); got != 6*4*2*2+3 {
+		t.Errorf("irregular L delay %d", got)
+	}
+	md, sub, irr := MatMulRegisterDemand(4)
+	if md != 8 || sub != 4 || irr != 18 {
+		t.Errorf("register demand = %d,%d,%d", md, sub, irr)
+	}
+}
+
+func TestExtensionFormulas(t *testing.T) {
+	if got := ByColumnsFeedbackDelay(3, 4); got != 21 {
+		t.Errorf("ByColumnsFeedbackDelay = %d, want 21", got)
+	}
+	if got := TriSolveSteps(10, 3); got != 21 {
+		t.Errorf("TriSolveSteps = %d, want 21", got)
+	}
+	if got := DirectBandPEs(6, 9); got != 14 {
+		t.Errorf("DirectBandPEs = %d, want 14", got)
+	}
+	// Flush speedup approaches (4w−3)/(2w) from below as n̄m̄ grows.
+	w := 4
+	asym := float64(4*w-3) / float64(2*w)
+	if s := FlushSpeedup(w, 20, 20); math.Abs(s-asym) > 0.01 {
+		t.Errorf("FlushSpeedup(%d, large) = %.4f, want ≈ %.4f", w, s, asym)
+	}
+	if FlushSpeedup(w, 1, 1) >= FlushSpeedup(w, 8, 8) {
+		t.Error("FlushSpeedup not increasing")
+	}
+}

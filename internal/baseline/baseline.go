@@ -1,0 +1,166 @@
+// Package baseline implements the comparison points the paper positions DBT
+// against (§1 and ref /6/):
+//
+//   - DirectBand: use Kung's band array on the dense matrix as-is. A dense
+//     n×m matrix is a band matrix of bandwidth n+m−1, so the array size must
+//     grow with the problem ("a particular design is made to suit the size
+//     of a given data structure") and utilization collapses toward
+//     nm/((n+m−1)·T) ≈ ⅛ for square matrices.
+//   - BlockFlush: partition A into w×w blocks and run each block as an
+//     independent problem on the fixed array, flushing between blocks and
+//     accumulating partial results on the host (the partitioned-matrix
+//     approach of Hwang & Cheng, ref /2/, without the paper's feedback).
+//     Fixed array, but T = n̄m̄(4w−3) and ~n(m̄−1) external additions.
+//   - PRT (Priester et al., ref /6/): a single w×w dense block on a w-sized
+//     array; the paper notes it is exactly DBT-by-rows with n̄ = m̄ = 1.
+//
+// All three run on the same cycle-accurate linear array simulator as DBT,
+// so their step counts and utilizations are measured, not assumed.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/blockpart"
+	"repro/internal/core"
+	"repro/internal/linear"
+	"repro/internal/matrix"
+)
+
+// Result reports a baseline run.
+type Result struct {
+	Y matrix.Vector
+	// ArraySize is the number of PEs the scheme required.
+	ArraySize int
+	// T is the total measured step count.
+	T int
+	// Utilization is useful ops / (ArraySize · T).
+	Utilization float64
+	// ExternalOps counts host-side arithmetic the scheme needs (DBT's
+	// selling point is that this is zero).
+	ExternalOps int
+}
+
+// DirectBand computes y = A·x + b by treating the dense matrix as a band
+// matrix of bandwidth n+m−1 on an array sized to match. It demonstrates the
+// size dependence DBT removes: the PE count grows with the problem.
+func DirectBand(a *matrix.Dense, x, b matrix.Vector) *Result {
+	n, m := a.Rows(), a.Cols()
+	if len(x) != m {
+		panic(fmt.Sprintf("baseline: len(x)=%d, want %d", len(x), m))
+	}
+	w := n + m - 1
+	// Row i of the band holds A[i][0..m) at diagonals (n−1−i)..(n−1−i+m−1);
+	// shifting columns by n−1 makes it an upper band: col j' = j + n − 1.
+	xbar := make(matrix.Vector, n+w-1) // = 2n+m−2
+	copy(xbar[n-1:], x)
+	prog := &linear.Program{
+		Rows: n,
+		X:    xbar,
+		BandAt: func(i, jp int) float64 {
+			j := jp - (n - 1)
+			if j < 0 || j >= m {
+				return 0
+			}
+			return a.At(i, j)
+		},
+		YInit: func(i int) linear.YInit {
+			if b == nil {
+				return linear.YInit{}
+			}
+			return linear.YInit{Value: b[i]}
+		},
+	}
+	res := linear.New(w).Run(prog)
+	return &Result{
+		Y:           matrix.Vector(res.Y[0]).Clone(),
+		ArraySize:   w,
+		T:           res.T,
+		Utilization: float64(n*m) / (float64(w) * float64(res.T)),
+	}
+}
+
+// BlockFlush computes y = A·x + b on a fixed w-PE array by running every
+// w×w block as an isolated PRT-style problem and summing the partial
+// results outside the array. The array is flushed between blocks: block
+// (r, s) starts only after block (r, s−1) has fully drained.
+func BlockFlush(a *matrix.Dense, x, b matrix.Vector, w int) *Result {
+	if len(x) != a.Cols() {
+		panic(fmt.Sprintf("baseline: len(x)=%d, want %d", len(x), a.Cols()))
+	}
+	g := blockpart.Partition(a, w)
+	xp := x.Pad(g.BlockCols * w)
+	arr := linear.New(w)
+	y := matrix.NewVector(g.BlockRows * w)
+	totalT := 0
+	external := 0
+	for r := 0; r < g.BlockRows; r++ {
+		for s := 0; s < g.BlockCols; s++ {
+			blk := g.Block(r, s)
+			xs := xp.Block(s, w)
+			// One-block DBT (the PRT transformation): Ū_0 = U, L̄_0 = L,
+			// x̄ = xs ++ xs[:w−1].
+			xbar := append(xs.Clone(), xs[:w-1]...)
+			prog := &linear.Program{
+				Rows: w,
+				X:    xbar,
+				BandAt: func(i, j int) float64 {
+					if j < w {
+						return blk.At(i, j) // upper triangle position (j ≥ i)
+					}
+					return blk.At(i, j-w) // strictly lower, next square
+				},
+				YInit: func(int) linear.YInit { return linear.YInit{} },
+			}
+			res := arr.Run(prog)
+			totalT += res.T // flush: next block starts after full drain
+			for i := 0; i < w; i++ {
+				y[r*w+i] += res.Y[0][i]
+				if s > 0 {
+					external++ // host-side accumulation
+				}
+			}
+		}
+	}
+	if b != nil {
+		for i := range b {
+			y[i] += b[i]
+			external++
+		}
+	}
+	n := g.BlockRows * g.BlockCols * w * w
+	return &Result{
+		Y:           y[:a.Rows()],
+		ArraySize:   w,
+		T:           totalT,
+		Utilization: float64(n) / (float64(w) * float64(totalT)),
+		ExternalOps: external,
+	}
+}
+
+// PRT computes y = A·x + b for a single w×w dense block on a w-PE array
+// (Priester et al.; DBT-by-rows with n̄ = m̄ = 1). A must be w×w.
+func PRT(a *matrix.Dense, x, b matrix.Vector, w int) (*Result, error) {
+	if a.Rows() != w || a.Cols() != w {
+		return nil, fmt.Errorf("baseline: PRT needs a %d×%d matrix, got %d×%d", w, w, a.Rows(), a.Cols())
+	}
+	s := core.NewMatVecSolver(w)
+	res, err := s.Solve(a, x, b, core.MatVecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Y:           res.Y,
+		ArraySize:   w,
+		T:           res.Stats.T,
+		Utilization: res.Stats.Utilization,
+	}, nil
+}
+
+// BlockFlushSteps returns the closed-form step count n̄·m̄·(4w−3) of the
+// flush baseline, for the analysis tables.
+func BlockFlushSteps(w, nbar, mbar int) int { return nbar * mbar * (4*w - 3) }
+
+// DirectBandSteps returns the closed-form step count 2n + 2(n+m−1) − 3 of
+// the direct band baseline.
+func DirectBandSteps(n, m int) int { return 2*n + 2*(n+m-1) - 3 }

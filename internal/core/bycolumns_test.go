@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestByColumnsVariant (E11): the column-major variant computes the same
+// result with the same step count, but its measured feedback delay is
+// (2n̄−1)·w — the §4 trade-off — versus the by-rows constant w.
+func TestByColumnsVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for _, w := range []int{2, 3, 4} {
+		for _, shape := range [][2]int{{2, 3}, {3, 2}, {4, 4}} {
+			nb, mb := shape[0], shape[1]
+			s := NewMatVecSolver(w)
+			a := matrix.RandomDense(rng, nb*w, mb*w, 3)
+			x := matrix.RandomVector(rng, mb*w, 3)
+			b := matrix.RandomVector(rng, nb*w, 3)
+
+			rows, err := s.Solve(a, x, b, MatVecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cols, err := s.Solve(a, x, b, MatVecOptions{ByColumns: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cols.Y.Equal(rows.Y, 0) {
+				t.Errorf("w=%d n̄=%d m̄=%d: by-columns result differs", w, nb, mb)
+			}
+			if cols.Stats.T != rows.Stats.T {
+				t.Errorf("w=%d n̄=%d m̄=%d: T %d vs %d", w, nb, mb, cols.Stats.T, rows.Stats.T)
+			}
+			for _, d := range rows.Stats.FeedbackDelays {
+				if d != w {
+					t.Errorf("by-rows delay %d, want %d", d, w)
+				}
+			}
+			for _, d := range cols.Stats.FeedbackDelays {
+				if want := (2*nb - 1) * w; d != want {
+					t.Errorf("w=%d n̄=%d: by-columns delay %d, want %d", w, nb, d, want)
+				}
+			}
+			if got, want := len(cols.Stats.FeedbackDelays), nb*w*(mb-1); got != want {
+				t.Errorf("by-columns: %d feedback edges, want %d", got, want)
+			}
+		}
+	}
+}
+
+// TestByColumnsRagged: padding shapes work too.
+func TestByColumnsRagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	s := NewMatVecSolver(3)
+	a := matrix.RandomDense(rng, 7, 10, 3)
+	x := matrix.RandomVector(rng, 10, 3)
+	res, err := s.Solve(a, x, nil, MatVecOptions{ByColumns: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Y.Equal(a.MulVec(x, nil), 0) {
+		t.Error("ragged by-columns wrong")
+	}
+}
+
+// TestByColumnsRejectsOverlap: the chains span the band; splitting is an error.
+func TestByColumnsRejectsOverlap(t *testing.T) {
+	s := NewMatVecSolver(3)
+	a := matrix.NewDense(6, 6)
+	_, err := s.Solve(a, make(matrix.Vector, 6), nil, MatVecOptions{ByColumns: true, Overlap: true})
+	if err == nil {
+		t.Error("expected ByColumns+Overlap error")
+	}
+}

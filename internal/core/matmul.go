@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dbt"
+	"repro/internal/hex"
+	"repro/internal/matrix"
+	"repro/internal/systolic"
+)
+
+// MatMulOptions configure a matrix–matrix run.
+type MatMulOptions struct {
+	// E is the additive term of C = A·B + E; nil means zero.
+	E *matrix.Dense
+	// Trace records the c-stream boundary events.
+	Trace bool
+}
+
+// MatMulStats reports measured quantities of a hexagonal array run.
+type MatMulStats struct {
+	// W is the array size; NBar, PBar, MBar the block grid.
+	W, NBar, PBar, MBar int
+	// T is the measured step count; PredictedT the paper's
+	// 3w·p̄n̄m̄ + 4w − 5.
+	T, PredictedT int
+	// Utilization is the paper's η = p̄n̄m̄w³/(w²·T) (useful MACs over
+	// array-steps); PredictedUtilization its closed form. MeasuredMACs
+	// additionally counts the boundary/tail operations the band framing
+	// adds.
+	Utilization, PredictedUtilization float64
+	MeasuredMACs                      int
+	// RegularDelays histograms the measured regular feedback delays
+	// (delay → count): the paper predicts w for the sub-diagonal pairs and
+	// 2w for the auto-fed main diagonal.
+	RegularDelays map[int]int
+	// IrregularDelays histograms the region-crossing feedback delays.
+	IrregularDelays map[int]int
+	// Trace is the boundary trace when requested.
+	Trace *systolic.Trace
+}
+
+// MatMulResult is the outcome of MatMulSolver.Solve.
+type MatMulResult struct {
+	C     *matrix.Dense
+	Stats MatMulStats
+}
+
+// MatMulSolver computes C = A·B + E on a fixed w×w hexagonal array with
+// spiral feedback.
+type MatMulSolver struct {
+	w int
+}
+
+// NewMatMulSolver returns a solver for a w×w hexagonal array.
+func NewMatMulSolver(w int) *MatMulSolver {
+	if w < 1 {
+		panic(fmt.Sprintf("core: invalid array size %d", w))
+	}
+	return &MatMulSolver{w: w}
+}
+
+// W returns the array size.
+func (s *MatMulSolver) W() int { return s.w }
+
+// Solve computes C = A·B + E by transforming the operands with DBT and
+// running one pass of the hexagonal array with spiral feedback.
+func (s *MatMulSolver) Solve(a, b *matrix.Dense, opts MatMulOptions) (*MatMulResult, error) {
+	if a.Cols() != b.Rows() {
+		return nil, fmt.Errorf("core: A is %d×%d but B is %d×%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	if opts.E != nil && (opts.E.Rows() != a.Rows() || opts.E.Cols() != b.Cols()) {
+		return nil, fmt.Errorf("core: E is %d×%d, want %d×%d", opts.E.Rows(), opts.E.Cols(), a.Rows(), b.Cols())
+	}
+	t := dbt.NewMatMul(a, b, s.w)
+	arr := hex.New(s.w)
+	arr.RecordTrace = opts.Trace
+	res := arr.Run(s.program(t, opts.E))
+
+	// Extract C from the recorded output band via the appendix index maps.
+	cFinal := s.extract(t, res.Progs[0]).Slice(0, a.Rows(), 0, b.Cols())
+
+	regular, irregular := systolic.DelayHistogram(res.Feedback())
+	stats := MatMulStats{
+		W: s.w, NBar: t.NBar, PBar: t.PBar, MBar: t.MBar,
+		T:                    res.T,
+		PredictedT:           analysis.MatMulSteps(s.w, t.PBar, t.NBar, t.MBar),
+		Utilization:          float64(analysis.MatMulOps(s.w, t.PBar, t.NBar, t.MBar)) / (float64(s.w*s.w) * float64(res.T)),
+		PredictedUtilization: analysis.MatMulUtilization(s.w, t.PBar, t.NBar, t.MBar),
+		MeasuredMACs:         res.Activity.Total(),
+		RegularDelays:        regular,
+		IrregularDelays:      irregular,
+		Trace:                res.Trace,
+	}
+	return &MatMulResult{C: cFinal, Stats: stats}, nil
+}
+
+// SolveMany runs up to three independent C_i = A_i·B_i problems overlapped
+// on the same array, offset one cycle apart. Because the hexagonal array's
+// streams are spaced three cycles, three problems interleave with zero
+// structural conflicts and PE utilization approaches 1 — the hexagonal
+// analog of the paper's "overlapping the execution of several problems"
+// (documented as an extension in DESIGN.md).
+func (s *MatMulSolver) SolveMany(as, bs []*matrix.Dense) ([]*matrix.Dense, *MatMulStats, error) {
+	if len(as) == 0 || len(as) != len(bs) || len(as) > 3 {
+		return nil, nil, fmt.Errorf("core: SolveMany takes 1 to 3 aligned problems, got %d", len(as))
+	}
+	arr := hex.New(s.w)
+	var progs []*hex.Program
+	var ts []*dbt.MatMul
+	for i := range as {
+		if as[i].Cols() != bs[i].Rows() {
+			return nil, nil, fmt.Errorf("core: problem %d: A is %d×%d but B is %d×%d",
+				i, as[i].Rows(), as[i].Cols(), bs[i].Rows(), bs[i].Cols())
+		}
+		t := dbt.NewMatMul(as[i], bs[i], s.w)
+		ts = append(ts, t)
+		p := s.program(t, nil)
+		p.Offset = i
+		progs = append(progs, p)
+	}
+	res := arr.Run(progs...)
+	cs := make([]*matrix.Dense, len(as))
+	for i, t := range ts {
+		cs[i] = s.extract(t, res.Progs[i]).Slice(0, as[i].Rows(), 0, bs[i].Cols())
+	}
+	stats := &MatMulStats{
+		W: s.w,
+		T: res.T,
+		// Useful ops across all problems over the shared array-steps.
+		Utilization:  sumOps(s.w, ts) / (float64(s.w*s.w) * float64(res.T)),
+		MeasuredMACs: res.Activity.Total(),
+	}
+	return cs, stats, nil
+}
+
+func sumOps(w int, ts []*dbt.MatMul) float64 {
+	total := 0
+	for _, t := range ts {
+		total += analysis.MatMulOps(w, t.PBar, t.NBar, t.MBar)
+	}
+	return float64(total)
+}
+
+// program builds the hex program for one transformed problem.
+func (s *MatMulSolver) program(t *dbt.MatMul, e *matrix.Dense) *hex.Program {
+	return &hex.Program{
+		Dim: t.Dim(),
+		AAt: t.AHatAt,
+		BAt: t.BHatAt,
+		CInitFor: func(rho, gamma int) hex.CInit {
+			k, piece, la, lb := t.PieceAt(rho, gamma)
+			init := t.InitFor(k, piece)
+			switch init.Kind {
+			case dbt.InitE:
+				return hex.CInit{Value: t.EPieceAt(e, init.R, init.S, dbt.EPieceForInit(piece), la, lb)}
+			case dbt.InitFeedback:
+				return hex.CInit{
+					Feedback:  true,
+					SrcRow:    init.Row*s.w + la,
+					SrcCol:    init.Row*s.w + t.PieceColOffset(init.Piece) + lb,
+					Irregular: init.Irregular,
+				}
+			default:
+				return hex.CInit{}
+			}
+		},
+	}
+}
+
+// extract assembles the padded C from one program's output record.
+func (s *MatMulSolver) extract(t *dbt.MatMul, rec *hex.ProgResult) *matrix.Dense {
+	c := matrix.NewDense(t.NBar*s.w, t.MBar*s.w)
+	for r := 0; r < t.NBar; r++ {
+		for iB := 0; iB < t.MBar; iB++ {
+			for _, p := range []dbt.Piece{dbt.PieceD, dbt.PieceUMid, dbt.PieceLMid} {
+				row, src := t.CSource(r, iB, p)
+				off := t.PieceColOffset(src)
+				for _, pos := range t.PiecePositions(row, src) {
+					la, lb := pos[2], pos[3]
+					if !pieceMember(p, la, lb) {
+						continue
+					}
+					c.Set(r*s.w+la, iB*s.w+lb, rec.At(row*s.w+la, row*s.w+off+lb))
+				}
+			}
+		}
+	}
+	return c
+}
+
+// pieceMember reports whether local position (a, b) belongs to the triangle
+// shape of piece p of a C block.
+func pieceMember(p dbt.Piece, a, b int) bool {
+	switch p {
+	case dbt.PieceD:
+		return a == b
+	case dbt.PieceUMid:
+		return b > a
+	case dbt.PieceLMid:
+		return b < a
+	}
+	return false
+}

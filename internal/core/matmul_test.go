@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/matrix"
+)
+
+// TestMatMulSolverCorrect: end-to-end C = A·B + E through DBT + the
+// hexagonal array with spiral feedback, exact for every shape.
+func TestMatMulSolverCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, w := range []int{1, 2, 3} {
+		s := NewMatMulSolver(w)
+		for _, shape := range [][3]int{
+			{1, 1, 1}, {w, w, w}, {2 * w, w, 3 * w}, {2*w - 1, w + 1, 2*w + 1},
+			{3 * w, 2 * w, w}, {1, 3 * w, 1},
+		} {
+			n, p, m := shape[0], shape[1], shape[2]
+			a := matrix.RandomDense(rng, n, p, 3)
+			b := matrix.RandomDense(rng, p, m, 3)
+			e := matrix.RandomDense(rng, n, m, 3)
+			res, err := s.Solve(a, b, MatMulOptions{E: e})
+			if err != nil {
+				t.Fatalf("w=%d %v: %v", w, shape, err)
+			}
+			want := a.Mul(b).AddM(e)
+			if !res.C.Equal(want, 0) {
+				t.Errorf("w=%d n=%d p=%d m=%d: wrong by %g", w, n, p, m, res.C.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+// TestMatMulCycleFormula (E5): measured T equals 3w·p̄n̄m̄ + 4w − 5 exactly.
+func TestMatMulCycleFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, w := range []int{1, 2, 3, 4} {
+		s := NewMatMulSolver(w)
+		for _, shape := range [][3]int{{1, 1, 1}, {2, 1, 1}, {1, 2, 3}, {2, 2, 2}, {3, 2, 1}} {
+			nb, pb, mb := shape[0], shape[1], shape[2]
+			a := matrix.RandomDense(rng, nb*w, pb*w, 3)
+			b := matrix.RandomDense(rng, pb*w, mb*w, 3)
+			res, err := s.Solve(a, b, MatMulOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.T != res.Stats.PredictedT {
+				t.Errorf("w=%d n̄=%d p̄=%d m̄=%d: T=%d, paper %d", w, nb, pb, mb, res.Stats.T, res.Stats.PredictedT)
+			}
+			if want := 3*w*pb*nb*mb + 4*w - 5; res.Stats.PredictedT != want {
+				t.Errorf("formula drift: %d vs %d", res.Stats.PredictedT, want)
+			}
+		}
+	}
+}
+
+// TestHexUtilization (E6): η = p̄n̄m̄w³/(w²T) matches the paper's closed
+// form exactly and approaches ⅓ from below as p̄n̄m̄ grows.
+func TestHexUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	w := 3
+	s := NewMatMulSolver(w)
+	prev := 0.0
+	for _, pnm := range []int{1, 2, 4, 8} {
+		a := matrix.RandomDense(rng, pnm*w, w, 2)
+		b := matrix.RandomDense(rng, w, w, 2)
+		res, err := s.Solve(a, b, MatMulOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Stats.Utilization-res.Stats.PredictedUtilization) > 1e-12 {
+			t.Errorf("p̄n̄m̄=%d: η=%.6f, paper %.6f", pnm, res.Stats.Utilization, res.Stats.PredictedUtilization)
+		}
+		if res.Stats.Utilization <= prev {
+			t.Errorf("η not increasing at p̄n̄m̄=%d", pnm)
+		}
+		prev = res.Stats.Utilization
+	}
+	if prev >= 1.0/3 {
+		t.Errorf("η=%.4f must stay below the ⅓ asymptote", prev)
+	}
+	if prev < 0.3 {
+		t.Errorf("η=%.4f should be close to ⅓ at p̄n̄m̄=8", prev)
+	}
+}
+
+// TestMatMulFeedbackDelays (E7): regular feedback delays are exactly w
+// (sub-diagonals) and 2w (main diagonal); irregular delays match the two
+// derived families 3w(p̄(n̄−1)+1) − 2w and 3w·n̄p̄(m̄−1) + w.
+func TestMatMulFeedbackDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, cse := range []struct{ nb, pb, mb, w int }{
+		{2, 2, 3, 3}, {3, 1, 2, 2}, {1, 2, 2, 4}, {2, 3, 1, 3},
+	} {
+		w := cse.w
+		s := NewMatMulSolver(w)
+		a := matrix.RandomDense(rng, cse.nb*w, cse.pb*w, 2)
+		b := matrix.RandomDense(rng, cse.pb*w, cse.mb*w, 2)
+		res, err := s.Solve(a, b, MatMulOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := range res.Stats.RegularDelays {
+			if d != w && d != 2*w {
+				t.Errorf("%+v: regular delay %d, want %d or %d", cse, d, w, 2*w)
+			}
+		}
+		// Main-diagonal (auto-fed) edges exist only when a D chain spans
+		// more than one row block, i.e. p̄ > 1.
+		if w > 1 && cse.pb > 1 {
+			if _, ok := res.Stats.RegularDelays[2*w]; !ok {
+				t.Errorf("%+v: no main-diagonal 2w delays observed", cse)
+			}
+		}
+		wantU := 3*w*(cse.pb*(cse.nb-1)+1) - 2*w  // U/L region-crossing family
+		wantL := 3*w*cse.nb*cse.pb*(cse.mb-1) + w // final L_{n̄−1,0} family
+		for d := range res.Stats.IrregularDelays {
+			if d != wantU && d != wantL {
+				t.Errorf("%+v: irregular delay %d, want %d or %d", cse, d, wantU, wantL)
+			}
+		}
+		if cse.nb > 1 || cse.mb > 1 {
+			if len(res.Stats.IrregularDelays) == 0 {
+				t.Errorf("%+v: expected irregular feedback edges", cse)
+			}
+		}
+	}
+}
+
+// TestMatMulRegisterDemand (E8): the register chains implied by the
+// measured regular delays match the paper's 2w (main diagonal) and w
+// (sub-diagonal pairs) memory elements.
+func TestMatMulRegisterDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	w := 4
+	s := NewMatMulSolver(w)
+	a := matrix.RandomDense(rng, 2*w, 2*w, 2)
+	b := matrix.RandomDense(rng, 2*w, 2*w, 2)
+	res, err := s.Solve(a, b, MatMulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainDiag, perSub, _ := analysis.MatMulRegisterDemand(w)
+	maxReg := 0
+	for d := range res.Stats.RegularDelays {
+		if d > maxReg {
+			maxReg = d
+		}
+	}
+	if maxReg != mainDiag {
+		t.Errorf("max regular delay %d, paper main-diagonal demand %d", maxReg, mainDiag)
+	}
+	if _, ok := res.Stats.RegularDelays[perSub]; !ok {
+		t.Errorf("no delay-%d sub-diagonal edges observed", perSub)
+	}
+}
+
+// TestMatMulIdentity: A·I = A through the whole pipeline.
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	w := 3
+	s := NewMatMulSolver(w)
+	a := matrix.RandomDense(rng, 5, 7, 4)
+	id := matrix.NewDense(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	res, err := s.Solve(a, id, MatMulOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.C.Equal(a, 0) {
+		t.Errorf("A·I ≠ A, off by %g", res.C.MaxAbsDiff(a))
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	s := NewMatMulSolver(2)
+	a := matrix.NewDense(2, 3)
+	b := matrix.NewDense(4, 2)
+	if _, err := s.Solve(a, b, MatMulOptions{}); err == nil {
+		t.Error("expected inner-dimension error")
+	}
+	b2 := matrix.NewDense(3, 2)
+	if _, err := s.Solve(a, b2, MatMulOptions{E: matrix.NewDense(1, 1)}); err == nil {
+		t.Error("expected E shape error")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestMatVecSolverCorrect: end-to-end y = A·x + b through DBT + the array,
+// exact for every shape.
+func TestMatVecSolverCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, w := range []int{1, 2, 3, 4, 5} {
+		s := NewMatVecSolver(w)
+		for _, n := range []int{1, w, w + 1, 2 * w, 3*w - 1} {
+			for _, m := range []int{1, w, w + 2, 2 * w, 3*w + 1} {
+				a := matrix.RandomDense(rng, n, m, 4)
+				x := matrix.RandomVector(rng, m, 4)
+				b := matrix.RandomVector(rng, n, 4)
+				res, err := s.Solve(a, x, b, MatVecOptions{})
+				if err != nil {
+					t.Fatalf("w=%d n=%d m=%d: %v", w, n, m, err)
+				}
+				want := a.MulVec(x, b)
+				if !res.Y.Equal(want, 0) {
+					t.Errorf("w=%d n=%d m=%d: wrong by %g", w, n, m, res.Y.MaxAbsDiff(want))
+				}
+			}
+		}
+	}
+}
+
+// TestMatVecCycleFormula (E1): measured T equals 2w·n̄m̄ + 2w − 3 exactly.
+func TestMatVecCycleFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, w := range []int{1, 2, 3, 5, 8} {
+		s := NewMatVecSolver(w)
+		for _, nb := range []int{1, 2, 3} {
+			for _, mb := range []int{1, 2, 4} {
+				a := matrix.RandomDense(rng, nb*w, mb*w, 3)
+				x := matrix.RandomVector(rng, mb*w, 3)
+				res, err := s.Solve(a, x, nil, MatVecOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.T != res.Stats.PredictedT {
+					t.Errorf("w=%d n̄=%d m̄=%d: T=%d, paper %d", w, nb, mb, res.Stats.T, res.Stats.PredictedT)
+				}
+				if want := 2*w*nb*mb + 2*w - 3; res.Stats.PredictedT != want {
+					t.Errorf("formula drift: %d vs %d", res.Stats.PredictedT, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapCycleFormula (E2): with the two-sub-problem overlap the
+// measured T equals w·n̄m̄ + 2w − 2 exactly (even n̄).
+func TestOverlapCycleFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, w := range []int{2, 3, 5} {
+		s := NewMatVecSolver(w)
+		for _, nb := range []int{2, 4} {
+			for _, mb := range []int{1, 3} {
+				a := matrix.RandomDense(rng, nb*w, mb*w, 3)
+				x := matrix.RandomVector(rng, mb*w, 3)
+				b := matrix.RandomVector(rng, nb*w, 3)
+				res, err := s.Solve(a, x, b, MatVecOptions{Overlap: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Y.Equal(a.MulVec(x, b), 0) {
+					t.Errorf("w=%d n̄=%d m̄=%d: overlap result wrong", w, nb, mb)
+				}
+				if res.Stats.T != res.Stats.PredictedT {
+					t.Errorf("w=%d n̄=%d m̄=%d: T=%d, paper %d", w, nb, mb, res.Stats.T, res.Stats.PredictedT)
+				}
+				if want := w*nb*mb + 2*w - 2; res.Stats.PredictedT != want {
+					t.Errorf("formula drift: %d vs %d", res.Stats.PredictedT, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapOddRowBands: overlap with odd n̄ still computes correctly (the
+// halves are unequal; T is then lastComputeCycle+1 of the longer half).
+func TestOverlapOddRowBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	w := 3
+	s := NewMatVecSolver(w)
+	a := matrix.RandomDense(rng, 3*w, 2*w, 3)
+	x := matrix.RandomVector(rng, 2*w, 3)
+	res, err := s.Solve(a, x, nil, MatVecOptions{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Y.Equal(a.MulVec(x, nil), 0) {
+		t.Error("odd-n̄ overlap result wrong")
+	}
+}
+
+// TestOverlapRejectedForSingleRowBand: n̄ = 1 cannot be split.
+func TestOverlapRejectedForSingleRowBand(t *testing.T) {
+	s := NewMatVecSolver(3)
+	a := matrix.NewDense(3, 9)
+	_, err := s.Solve(a, make(matrix.Vector, 9), nil, MatVecOptions{Overlap: true})
+	if err == nil {
+		t.Error("expected error for n̄=1 overlap")
+	}
+}
+
+// TestUtilizationMatchesFormula (E3): measured η equals the paper's closed
+// form exactly, and approaches ½ as n̄m̄ grows.
+func TestUtilizationMatchesFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	w := 4
+	s := NewMatVecSolver(w)
+	prev := 0.0
+	for _, nm := range []int{1, 2, 4, 8, 16} {
+		a := matrix.RandomDense(rng, nm*w, w, 3)
+		x := matrix.RandomVector(rng, w, 3)
+		res, err := s.Solve(a, x, nil, MatVecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Stats.Utilization-res.Stats.PredictedUtilization) > 1e-12 {
+			t.Errorf("n̄m̄=%d: η=%.6f, paper %.6f", nm, res.Stats.Utilization, res.Stats.PredictedUtilization)
+		}
+		if res.Stats.Utilization <= prev {
+			t.Errorf("η not increasing at n̄m̄=%d", nm)
+		}
+		prev = res.Stats.Utilization
+	}
+	if prev >= 0.5 {
+		t.Errorf("η=%.4f must stay below the ½ asymptote", prev)
+	}
+	if prev < 0.45 {
+		t.Errorf("η=%.4f should be close to ½ at n̄m̄=16", prev)
+	}
+}
+
+// TestOverlapUtilization (E4): with overlapping η approaches 1.
+func TestOverlapUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	w := 3
+	s := NewMatVecSolver(w)
+	a := matrix.RandomDense(rng, 16*w, w, 3)
+	x := matrix.RandomVector(rng, w, 3)
+	res, err := s.Solve(a, x, nil, MatVecOptions{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Stats.Utilization-res.Stats.PredictedUtilization) > 1e-12 {
+		t.Errorf("η=%.6f, paper %.6f", res.Stats.Utilization, res.Stats.PredictedUtilization)
+	}
+	if res.Stats.Utilization < 0.85 {
+		t.Errorf("overlapped η=%.4f, want near 1", res.Stats.Utilization)
+	}
+}
+
+// TestMatVecFeedbackDelays (E7, linear part): every feedback edge has delay
+// exactly w, and there are n̄(m̄−1) of them.
+func TestMatVecFeedbackDelays(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, w := range []int{2, 3, 5} {
+		s := NewMatVecSolver(w)
+		nb, mb := 3, 4
+		a := matrix.RandomDense(rng, nb*w, mb*w, 3)
+		x := matrix.RandomVector(rng, mb*w, 3)
+		res, err := s.Solve(a, x, nil, MatVecOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(res.Stats.FeedbackDelays), nb*w*(mb-1); got != want {
+			t.Errorf("w=%d: %d feedback edges, want %d", w, got, want)
+		}
+		for _, d := range res.Stats.FeedbackDelays {
+			if d != w {
+				t.Errorf("w=%d: feedback delay %d, want %d", w, d, w)
+			}
+		}
+	}
+}
+
+// TestSolveMany: two independent problems share the array at full rate.
+func TestSolveMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	w := 3
+	s := NewMatVecSolver(w)
+	a1 := matrix.RandomDense(rng, 2*w, 2*w, 3)
+	a2 := matrix.RandomDense(rng, 2*w, 2*w, 3)
+	x1 := matrix.RandomVector(rng, 2*w, 3)
+	x2 := matrix.RandomVector(rng, 2*w, 3)
+	ys, stats, err := s.SolveMany(
+		[]*matrix.Dense{a1, a2},
+		[]matrix.Vector{x1, x2},
+		nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ys[0].Equal(a1.MulVec(x1, nil), 0) || !ys[1].Equal(a2.MulVec(x2, nil), 0) {
+		t.Error("SolveMany results wrong")
+	}
+	// Both problems in barely more time than one: T = 2w·n̄m̄+2w−3 + 1.
+	if want := 2*w*4 + 2*w - 3 + 1; stats.T != want {
+		t.Errorf("T=%d, want %d", stats.T, want)
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	s := NewMatVecSolver(3)
+	a := matrix.NewDense(4, 4)
+	if _, err := s.Solve(a, make(matrix.Vector, 3), nil, MatVecOptions{}); err == nil {
+		t.Error("expected x length error")
+	}
+	if _, err := s.Solve(a, make(matrix.Vector, 4), make(matrix.Vector, 3), MatVecOptions{}); err == nil {
+		t.Error("expected b length error")
+	}
+	if _, _, err := s.SolveMany(nil, nil, nil); err == nil {
+		t.Error("expected SolveMany arity error")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestLowerBandVariant: the lower-band form (§2) computes the same y with
+// the same step count and utilization as the upper-band form.
+func TestLowerBandVariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for _, w := range []int{2, 3, 5} {
+		s := NewMatVecSolver(w)
+		for _, shape := range [][2]int{{1, 1}, {2 * w, 3 * w}, {7, 11}} {
+			a := matrix.RandomDense(rng, shape[0], shape[1], 4)
+			x := matrix.RandomVector(rng, shape[1], 4)
+			b := matrix.RandomVector(rng, shape[0], 4)
+			up, err := s.Solve(a, x, b, MatVecOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, err := s.Solve(a, x, b, MatVecOptions{LowerBand: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lo.Y.Equal(up.Y, 0) {
+				t.Errorf("w=%d %v: lower-band result differs", w, shape)
+			}
+			if lo.Stats.T != up.Stats.T {
+				t.Errorf("w=%d %v: lower T=%d vs upper %d", w, shape, lo.Stats.T, up.Stats.T)
+			}
+			if math.Abs(lo.Stats.Utilization-up.Stats.Utilization) > 1e-12 {
+				t.Errorf("w=%d %v: utilization differs", w, shape)
+			}
+		}
+	}
+}
+
+// TestLowerBandWithOverlap: the variants compose.
+func TestLowerBandWithOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	w := 3
+	s := NewMatVecSolver(w)
+	a := matrix.RandomDense(rng, 4*w, 2*w, 3)
+	x := matrix.RandomVector(rng, 2*w, 3)
+	res, err := s.Solve(a, x, nil, MatVecOptions{LowerBand: true, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Y.Equal(a.MulVec(x, nil), 0) {
+		t.Error("lower-band + overlap wrong")
+	}
+}
+
+// TestGroupingStats (paper §2, "grouping every 2 PEs in 1"): without
+// overlap grouping is conflict-free and grouped η approaches 1 for even w.
+func TestGroupingStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	w := 4
+	s := NewMatVecSolver(w)
+	a := matrix.RandomDense(rng, 16*w, w, 3)
+	x := matrix.RandomVector(rng, w, 3)
+	res, err := s.Solve(a, x, nil, MatVecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.GroupableConflicts != 0 {
+		t.Errorf("grouping conflicts = %d, want 0", res.Stats.GroupableConflicts)
+	}
+	if res.Stats.GroupedUtilization < 0.9 {
+		t.Errorf("grouped η = %.4f, want near 1", res.Stats.GroupedUtilization)
+	}
+	if got, want := res.Stats.GroupedUtilization, 2*res.Stats.Utilization; math.Abs(got-want) > 1e-12 {
+		t.Errorf("grouped η = %.4f, want exactly 2η = %.4f for even w", got, want)
+	}
+	// Under overlap the slots fill up and grouping must report conflicts.
+	over, err := s.Solve(a, x, nil, MatVecOptions{Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Stats.GroupableConflicts == 0 {
+		t.Error("expected grouping conflicts under overlap")
+	}
+}

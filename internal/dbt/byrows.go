@@ -1,0 +1,274 @@
+// Package dbt implements the paper's primary contribution: the Dense-to-Band
+// matrix Transformations by Triangular blocks partitioning (DBT).
+//
+// DBT-by-rows (paper §2) turns the dense matrix–vector problem
+// y = A·x + b, with A of arbitrary size n×m, into a band problem
+// ȳ = Ā·x̄ + b̄ whose bandwidth equals the size w of the linear contraflow
+// systolic array, with every band position filled by an element of A
+// (possibly a padding zero when n or m is not a multiple of w) and with
+// partial results fed back into the array after exactly w cycles.
+//
+// DBT-transposed-by-rows (used for the B operand of matrix–matrix
+// multiplication, §3) is DBT_tr(A) = (DBT_by_rows(Aᵀ))ᵀ and yields a lower
+// band matrix.
+package dbt
+
+import (
+	"fmt"
+
+	"repro/internal/blockpart"
+	"repro/internal/matrix"
+)
+
+// SourceKind says where a b̄ block comes from when feeding the array.
+type SourceKind int
+
+const (
+	// FromB: the block is a block of the original b vector.
+	FromB SourceKind = iota
+	// FromFeedback: the block is the array's own output for the previous
+	// band row block (the paper's y^R_i partial results).
+	FromFeedback
+)
+
+// BSource describes the origin of b̄_k (paper §2, rules for b̄).
+type BSource struct {
+	Kind SourceKind
+	// Index is the b block index r when Kind == FromB, or the producing
+	// band row block k−1 when Kind == FromFeedback.
+	Index int
+}
+
+// YDest describes the fate of ȳ_k: a final result block or a partial result
+// to be fed back.
+type YDest struct {
+	Final bool
+	// Index is the y block index r when Final, or the consuming band row
+	// block k+1 otherwise.
+	Index int
+}
+
+// MatVec is a DBT-by-rows transformation of a dense matrix–vector problem.
+type MatVec struct {
+	// W is the array/block/bandwidth size.
+	W int
+	// NBar = ⌈n/w⌉ and MBar = ⌈m/w⌉ (the paper's n̄ and m̄).
+	NBar, MBar int
+	// N and M are the original dimensions of A.
+	N, M int
+	// Grid is the triangular block partition of A.
+	Grid *blockpart.Grid
+}
+
+// NewMatVec builds the DBT-by-rows transformation for A with array size w.
+func NewMatVec(a *matrix.Dense, w int) *MatVec {
+	g := blockpart.Partition(a, w)
+	return &MatVec{
+		W:    w,
+		NBar: g.BlockRows,
+		MBar: g.BlockCols,
+		N:    a.Rows(),
+		M:    a.Cols(),
+		Grid: g,
+	}
+}
+
+// Blocks returns n̄·m̄, the number of band row blocks.
+func (t *MatVec) Blocks() int { return t.NBar * t.MBar }
+
+// BandRows returns the number of rows of Ā (n̄·m̄·w).
+func (t *MatVec) BandRows() int { return t.Blocks() * t.W }
+
+// BandCols returns the number of columns of Ā (n̄·m̄·w + w − 1), matching the
+// length of x̄.
+func (t *MatVec) BandCols() int { return t.BandRows() + t.W - 1 }
+
+// UpperIndex returns (r, s) with Ū_k = U_{r,s}: r = ⌊k/m̄⌋, s = k mod m̄
+// (paper §2, DBT-by-rows rule a).
+func (t *MatVec) UpperIndex(k int) (r, s int) {
+	t.checkBlock(k)
+	return k / t.MBar, k % t.MBar
+}
+
+// LowerIndex returns (r, s) with L̄_k = L_{r,s}: r = ⌊k/m̄⌋,
+// s = (k mod m̄ + 1) mod m̄ (paper §2, DBT-by-rows rule a).
+func (t *MatVec) LowerIndex(k int) (r, s int) {
+	t.checkBlock(k)
+	return k / t.MBar, (k%t.MBar + 1) % t.MBar
+}
+
+// BandAt reads Ā[i][j]. Row block k owns rows kw..kw+w−1; Ū_k occupies the
+// diagonal square (columns kw..kw+w−1, upper triangle incl. diagonal) and
+// L̄_k the strictly lower triangle of the next square (columns
+// (k+1)w..(k+1)w+w−1). Everything else in the band is structurally absent.
+func (t *MatVec) BandAt(i, j int) float64 {
+	d := j - i
+	if d < 0 || d >= t.W {
+		return 0
+	}
+	k := i / t.W
+	a := i % t.W
+	b := j - k*t.W
+	if b < t.W { // diagonal square: Ū_k, needs b ≥ a which holds since d ≥ 0
+		r, s := t.UpperIndex(k)
+		return t.Grid.UpperAt(r, s, a, b)
+	}
+	// next square: L̄_k with local column b−w < a
+	r, s := t.LowerIndex(k)
+	return t.Grid.LowerAt(r, s, a, b-t.W)
+}
+
+// Band materializes Ā as an upper band matrix of bandwidth w.
+func (t *MatVec) Band() *matrix.Band {
+	b := matrix.NewBand(t.BandRows(), t.BandCols(), 0, t.W-1)
+	for i := 0; i < t.BandRows(); i++ {
+		for d := 0; d < t.W; d++ {
+			j := i + d
+			if j < t.BandCols() {
+				if v := t.BandAt(i, j); v != 0 {
+					b.Set(i, j, v)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// TransformX maps x (length m, zero-padded to m̄w) to x̄
+// (length n̄m̄w + w−1): x̄_k = x_{k mod m̄} for k < n̄m̄, and the tail
+// x̄_{n̄m̄} is x′_s: the first w−1 elements of the x block selected by
+// L̄_{n̄m̄−1} (paper §2, rule 2). With DBT-by-rows that block is always x_0.
+func (t *MatVec) TransformX(x matrix.Vector) matrix.Vector {
+	if len(x) != t.M {
+		panic(fmt.Sprintf("dbt: TransformX length %d, want %d", len(x), t.M))
+	}
+	xp := x.Pad(t.MBar * t.W)
+	out := make(matrix.Vector, 0, t.BandCols())
+	for k := 0; k < t.Blocks(); k++ {
+		out = append(out, xp.Block(k%t.MBar, t.W)...)
+	}
+	_, s := t.LowerIndex(t.Blocks() - 1)
+	tail := xp.Block(s, t.W)
+	out = append(out, tail[:t.W-1]...)
+	return out
+}
+
+// BSource returns the origin of b̄_k: b_{k/m̄} when k mod m̄ = 0, otherwise
+// the feedback of ȳ_{k−1} (paper §2, rule b).
+func (t *MatVec) BSource(k int) BSource {
+	t.checkBlock(k)
+	if k%t.MBar == 0 {
+		return BSource{Kind: FromB, Index: k / t.MBar}
+	}
+	return BSource{Kind: FromFeedback, Index: k - 1}
+}
+
+// YDest returns the fate of ȳ_k: the final result y_{⌊k/m̄⌋} when
+// (k+1) mod m̄ = 0, otherwise a partial result consumed as b̄_{k+1}.
+func (t *MatVec) YDest(k int) YDest {
+	t.checkBlock(k)
+	if (k+1)%t.MBar == 0 {
+		return YDest{Final: true, Index: k / t.MBar}
+	}
+	return YDest{Final: false, Index: k + 1}
+}
+
+// BlockRecurrence computes, purely at block level (no systolic timing), all
+// ȳ_k for the transformed problem given original x and b. It implements
+// ȳ_k = Ū_k·x̄_k + L̄_k·x̄_{k+1} + b̄_k with the b̄ feedback chaining, and is
+// the mathematical reference the cycle-accurate array is tested against.
+// b may be nil (treated as zero).
+func (t *MatVec) BlockRecurrence(x, b matrix.Vector) []matrix.Vector {
+	if len(x) != t.M {
+		panic(fmt.Sprintf("dbt: BlockRecurrence len(x)=%d, want %d", len(x), t.M))
+	}
+	if b != nil && len(b) != t.N {
+		panic(fmt.Sprintf("dbt: BlockRecurrence len(b)=%d, want %d", len(b), t.N))
+	}
+	var bp matrix.Vector
+	if b == nil {
+		bp = matrix.NewVector(t.NBar * t.W)
+	} else {
+		bp = b.Pad(t.NBar * t.W)
+	}
+	xbar := t.TransformX(x)
+	ybars := make([]matrix.Vector, t.Blocks())
+	for k := 0; k < t.Blocks(); k++ {
+		y := make(matrix.Vector, t.W)
+		src := t.BSource(k)
+		switch src.Kind {
+		case FromB:
+			copy(y, bp.Block(src.Index, t.W))
+		case FromFeedback:
+			copy(y, ybars[src.Index])
+		}
+		ru, su := t.UpperIndex(k)
+		rl, sl := t.LowerIndex(k)
+		for a := 0; a < t.W; a++ {
+			for c := a; c < t.W; c++ {
+				y[a] += t.Grid.UpperAt(ru, su, a, c) * xbar[k*t.W+c]
+			}
+			for c := 0; c < a; c++ {
+				y[a] += t.Grid.LowerAt(rl, sl, a, c) * xbar[(k+1)*t.W+c]
+			}
+		}
+		ybars[k] = y
+	}
+	return ybars
+}
+
+// RecoverY extracts the final y (length n) from the per-block outputs ȳ_k.
+func (t *MatVec) RecoverY(ybars []matrix.Vector) matrix.Vector {
+	if len(ybars) != t.Blocks() {
+		panic(fmt.Sprintf("dbt: RecoverY got %d blocks, want %d", len(ybars), t.Blocks()))
+	}
+	out := make(matrix.Vector, 0, t.NBar*t.W)
+	for k := 0; k < t.Blocks(); k++ {
+		if d := t.YDest(k); d.Final {
+			out = append(out, ybars[k]...)
+		}
+	}
+	return out[:t.N]
+}
+
+// Validate checks the paper's three structural conditions on the
+// transformation (§2): (1) if Ū_k = U_{i,j} then L̄_k = L_{i,p} for some p;
+// (2) if L̄_k = U... (sic; read: = L_{i,j}) then Ū_{k+1} = U_{p,j'} keeping
+// column continuity of x̄; (3) each U_{i,j} and L_{i,j} appears exactly once.
+func (t *MatVec) Validate() error {
+	seenU := make(map[[2]int]bool)
+	seenL := make(map[[2]int]bool)
+	for k := 0; k < t.Blocks(); k++ {
+		ru, _ := t.UpperIndex(k)
+		rl, _ := t.LowerIndex(k)
+		if ru != rl { // condition 1: same original block row
+			return fmt.Errorf("dbt: block %d pairs U row %d with L row %d", k, ru, rl)
+		}
+		u := [2]int{ru, k % t.MBar}
+		l := [2]int{rl, (k%t.MBar + 1) % t.MBar}
+		if seenU[u] || seenL[l] { // condition 3: single copy
+			return fmt.Errorf("dbt: block %d duplicates U%v or L%v", k, u, l)
+		}
+		seenU[u] = true
+		seenL[l] = true
+		if k+1 < t.Blocks() {
+			// condition 2: x̄ continuity — the x block under L̄_k must be
+			// the x block under Ū_{k+1}.
+			_, sl := t.LowerIndex(k)
+			_, su := t.UpperIndex(k + 1)
+			if sl != su {
+				return fmt.Errorf("dbt: x̄ discontinuity between blocks %d and %d (%d vs %d)", k, k+1, sl, su)
+			}
+		}
+	}
+	if len(seenU) != t.Blocks() || len(seenL) != t.Blocks() {
+		return fmt.Errorf("dbt: coverage %d U / %d L, want %d", len(seenU), len(seenL), t.Blocks())
+	}
+	return nil
+}
+
+func (t *MatVec) checkBlock(k int) {
+	if k < 0 || k >= t.Blocks() {
+		panic(fmt.Sprintf("dbt: block index %d out of range %d", k, t.Blocks()))
+	}
+}

@@ -1,0 +1,119 @@
+package dbt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// TestPieceAtRoundTrip: PieceAt inverts PiecePositions for every in-band
+// position of every row block (property over random shapes).
+func TestPieceAtRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 1 + rng.Intn(4)
+		nb, pb, mb := 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(3)
+		tr := NewMatMul(matrix.NewDense(nb*w, pb*w), matrix.NewDense(pb*w, mb*w), w)
+		for k := 0; k <= tr.RegularBlocks(); k++ {
+			for _, p := range Pieces {
+				for _, pos := range tr.PiecePositions(k, p) {
+					rho, gamma, a, b := pos[0], pos[1], pos[2], pos[3]
+					gk, gp, ga, gb := tr.PieceAt(rho, gamma)
+					if gk != k || gp != p || ga != a || gb != b {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPiecePositionsPartitionBand: the five pieces of all row blocks
+// partition the product band exactly (no overlap, no gap).
+func TestPiecePositionsPartitionBand(t *testing.T) {
+	for _, w := range []int{1, 2, 3} {
+		tr := NewMatMul(matrix.NewDense(2*w, 2*w), matrix.NewDense(2*w, 2*w), w)
+		seen := make(map[[2]int]int)
+		for k := 0; k <= tr.RegularBlocks(); k++ {
+			for _, p := range Pieces {
+				for _, pos := range tr.PiecePositions(k, p) {
+					seen[[2]int{pos[0], pos[1]}]++
+				}
+			}
+		}
+		want := 0
+		for i := 0; i < tr.Dim(); i++ {
+			for f := -(w - 1); f <= w-1; f++ {
+				if j := i + f; j >= 0 && j < tr.Dim() {
+					want++
+					if seen[[2]int{i, j}] != 1 {
+						t.Fatalf("w=%d: position (%d,%d) covered %d times", w, i, j, seen[[2]int{i, j}])
+					}
+				}
+			}
+		}
+		if len(seen) != want {
+			t.Errorf("w=%d: %d positions covered, want %d", w, len(seen), want)
+		}
+	}
+}
+
+// TestPieceAtRejectsOutOfBand: positions outside the 2w−1 band panic.
+func TestPieceAtRejectsOutOfBand(t *testing.T) {
+	tr := NewMatMul(matrix.NewDense(4, 4), matrix.NewDense(4, 4), 2)
+	mustPanic(t, func() { tr.PieceAt(0, 2) })
+	mustPanic(t, func() { tr.PieceAt(3, 0) })
+}
+
+// TestHatBandsOutOfRange: the band accessors return 0 outside the band and
+// outside the matrix rather than panicking (the simulators probe freely).
+func TestHatBandsOutOfRange(t *testing.T) {
+	w := 3
+	tr := NewMatMul(matrix.NewDense(w, w), matrix.NewDense(w, w), w)
+	if tr.AHatAt(0, -1) != 0 || tr.AHatAt(-1, 0) != 0 || tr.AHatAt(0, tr.Dim()) != 0 {
+		t.Error("AHatAt out-of-range should be 0")
+	}
+	if tr.AHatAt(2, 0) != 0 { // below the diagonal: out of upper band
+		t.Error("AHatAt below band should be 0")
+	}
+	if tr.BHatAt(0, 2) != 0 { // above the diagonal: out of lower band
+		t.Error("BHatAt above band should be 0")
+	}
+	if tr.BHatAt(tr.Dim(), 0) != 0 {
+		t.Error("BHatAt out-of-range should be 0")
+	}
+}
+
+// TestEPieceAtShapes: E pieces respect their triangle shapes and tolerate
+// nil and padded-region queries.
+func TestEPieceAtShapes(t *testing.T) {
+	w := 3
+	e := matrix.FromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	tr := NewMatMul(matrix.NewDense(w, w), matrix.NewDense(w, w), w)
+	if tr.EPieceAt(e, 0, 0, PieceD, 1, 1) != 5 {
+		t.Error("D piece wrong")
+	}
+	if tr.EPieceAt(e, 0, 0, PieceD, 0, 1) != 0 {
+		t.Error("D piece must be diagonal only")
+	}
+	if tr.EPieceAt(e, 0, 0, PieceUMid, 0, 2) != 3 || tr.EPieceAt(e, 0, 0, PieceUMid, 2, 0) != 0 {
+		t.Error("U piece wrong")
+	}
+	if tr.EPieceAt(e, 0, 0, PieceLMid, 2, 0) != 7 || tr.EPieceAt(e, 0, 0, PieceLMid, 0, 2) != 0 {
+		t.Error("L piece wrong")
+	}
+	if tr.EPieceAt(nil, 0, 0, PieceD, 1, 1) != 0 {
+		t.Error("nil E must read 0")
+	}
+	mustPanic(t, func() { tr.EPieceAt(e, 0, 0, PieceULeft, 0, 1) })
+}

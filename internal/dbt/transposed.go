@@ -1,0 +1,48 @@
+package dbt
+
+import (
+	"repro/internal/matrix"
+)
+
+// Transposed is a DBT-transposed-by-rows transformation (paper §2 end):
+//
+//	DBT_transposed_by_rows(A) = (DBT_by_rows(Aᵀ))ᵀ
+//
+// It yields a lower band matrix of bandwidth w. It is the transformation
+// applied to each column sub-matrix of the B operand in matrix–matrix
+// multiplication (§3).
+type Transposed struct {
+	// Inner is the DBT-by-rows transformation of Aᵀ.
+	Inner *MatVec
+}
+
+// NewTransposed builds the DBT-transposed-by-rows transformation of a.
+func NewTransposed(a *matrix.Dense, w int) *Transposed {
+	return &Transposed{Inner: NewMatVec(a.Transpose(), w)}
+}
+
+// BandRows returns the rows of the lower band result (inner band cols).
+func (t *Transposed) BandRows() int { return t.Inner.BandCols() }
+
+// BandCols returns the cols of the lower band result (inner band rows).
+func (t *Transposed) BandCols() int { return t.Inner.BandRows() }
+
+// BandAt reads element (i, j) of the lower band matrix.
+func (t *Transposed) BandAt(i, j int) float64 { return t.Inner.BandAt(j, i) }
+
+// Band materializes the lower band matrix (diagonals −(w−1)..0).
+func (t *Transposed) Band() *matrix.Band {
+	w := t.Inner.W
+	b := matrix.NewBand(t.BandRows(), t.BandCols(), -(w - 1), 0)
+	for j := 0; j < t.BandCols(); j++ {
+		for d := 0; d < w; d++ {
+			i := j + d
+			if i < t.BandRows() {
+				if v := t.BandAt(i, j); v != 0 {
+					b.Set(i, j, v)
+				}
+			}
+		}
+	}
+	return b
+}

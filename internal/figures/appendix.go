@@ -1,0 +1,73 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+)
+
+// AppendixICompositionTable renders, for the given block shape, the full
+// I-matrix composition the paper's appendix specifies symbolically: for
+// every band row block k and piece, where its initialization comes from
+// (an E piece, an earlier O piece — the spiral feedback — or nothing).
+func AppendixICompositionTable(nbar, pbar, mbar, w int) string {
+	t := dbt.NewMatMul(matrix.NewDense(nbar*w, pbar*w), matrix.NewDense(pbar*w, mbar*w), w)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Appendix — I composition for n̄=%d, p̄=%d, m̄=%d, w=%d (row blocks 0..%d, tail %d):\n\n",
+		nbar, pbar, mbar, w, t.RegularBlocks()-1, t.RegularBlocks())
+	fmt.Fprintf(&sb, "  %4s  %-18s %-18s %-18s %-18s %-18s\n", "k", "U_{k,0}", "L_{k,0}", "D_k", "U_{k,1}", "L_{k,1}")
+	for k := 0; k <= t.RegularBlocks(); k++ {
+		fmt.Fprintf(&sb, "  %4d", k)
+		for _, p := range []dbt.Piece{dbt.PieceULeft, dbt.PieceLMid, dbt.PieceD, dbt.PieceUMid, dbt.PieceLRight} {
+			fmt.Fprintf(&sb, "  %-17s", initLabel(t, k, p))
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\n  (fb* marks the irregular region-crossing feedbacks of §3)\n")
+	return sb.String()
+}
+
+func initLabel(t *dbt.MatMul, k int, p dbt.Piece) string {
+	if len(t.PiecePositions(k, p)) == 0 {
+		return "-"
+	}
+	init := t.InitFor(k, p)
+	switch init.Kind {
+	case dbt.InitZero:
+		return "0"
+	case dbt.InitE:
+		return fmt.Sprintf("E^%v_{%d,%d}", dbt.EPieceForInit(p), init.R, init.S)
+	default:
+		mark := ""
+		if init.Irregular {
+			mark = "*"
+		}
+		return fmt.Sprintf("fb%s O^%v_%d", mark, init.Piece, init.Row)
+	}
+}
+
+// AppendixCExtractionTable renders where each C block's three pieces are
+// read from the output band O.
+func AppendixCExtractionTable(nbar, pbar, mbar, w int) string {
+	t := dbt.NewMatMul(matrix.NewDense(nbar*w, pbar*w), matrix.NewDense(pbar*w, mbar*w), w)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Appendix — C extraction for n̄=%d, p̄=%d, m̄=%d, w=%d:\n\n", nbar, pbar, mbar, w)
+	sb.WriteString("  C block    D from        U from        L from\n")
+	for r := 0; r < nbar; r++ {
+		for iB := 0; iB < mbar; iB++ {
+			dRow, dp := t.CSource(r, iB, dbt.PieceD)
+			uRow, up := t.CSource(r, iB, dbt.PieceUMid)
+			lRow, lp := t.CSource(r, iB, dbt.PieceLMid)
+			fmt.Fprintf(&sb, "  C_{%d,%d}    O^%v_%-4d     O^%v_%-4d     O^%v_%-4d\n",
+				r, iB, dp, dRow, up, uRow, lp, lRow)
+		}
+	}
+	return sb.String()
+}
+
+// Appendix renders both tables for the paper's Fig. 4 shape.
+func Appendix() string {
+	return AppendixICompositionTable(2, 2, 3, 3) + "\n" + AppendixCExtractionTable(2, 2, 3, 3)
+}

@@ -1,0 +1,46 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendixIComposition(t *testing.T) {
+	s := AppendixICompositionTable(2, 2, 3, 3)
+	// Row 0: D and L chains start from E blocks of C_{0,0}; U mid starts
+	// from E (region start); no left square.
+	for _, want := range []string{
+		"E^D_{0,0}", "E^L0_{0,0}", "E^U1_{0,0}",
+		// Regular chains: D_k ← D_{k−1}, U_{k,1} ← U_{k,0}, L_{k,1} ← L_{k,0}.
+		"fb O^D_0", "fb O^U0_", "fb O^L0_",
+		// Irregular region-crossing marks.
+		"fb* O^U1_", "fb* O^L1_",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("I composition missing %q", want)
+		}
+	}
+}
+
+func TestAppendixCExtraction(t *testing.T) {
+	s := AppendixCExtractionTable(2, 2, 3, 3)
+	for _, want := range []string{
+		// Group of C_{0,0} ends at row 1; its U chain ends at the next
+		// region's left triangle (row 4).
+		"C_{0,0}    O^D_1        O^U0_4        O^L1_1",
+		// L of C_{n̄−1,0} reads the right triangle of the last regular row (11).
+		"C_{1,0}    O^D_3        O^U1_3        O^L1_11",
+		// L of C_{n̄−1,j>0} reads the mid of the last row of region j (7).
+		"C_{1,1}    O^D_7        O^U1_7        O^L0_7",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("C extraction missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestAppendixRenders(t *testing.T) {
+	if s := Appendix(); !strings.Contains(s, "I composition") || !strings.Contains(s, "C extraction") {
+		t.Error("Appendix missing sections")
+	}
+}

@@ -1,0 +1,126 @@
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+	"repro/internal/systolic"
+)
+
+// Fig3Streams runs the Fig. 3 problem (n=6, m=9, w=3) with tracing and
+// returns the three labelled boundary streams: for each cycle with
+// activity, the x element entering, the ȳ initialization entering and the
+// ȳ value leaving. Labels follow the paper: x/b indices are original
+// element indices, partial results are y<i>^<p> (p-th partial of element
+// i), finals are y<i>.
+type Fig3Streams struct {
+	// T is the total step count (39 in the paper).
+	T int
+	// X, YIn, YOut map cycle → label.
+	X, YIn, YOut map[int]string
+}
+
+// Fig3Data produces the traced streams for arbitrary (n, m, w).
+func Fig3Data(n, m, w int) (*Fig3Streams, error) {
+	a := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(i, j, float64(i*m+j+1))
+		}
+	}
+	x := matrix.NewVector(m)
+	b := matrix.NewVector(n)
+	s := core.NewMatVecSolver(w)
+	res, err := s.Solve(a, x, b, core.MatVecOptions{Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	t := dbt.NewMatVec(a, w)
+	out := &Fig3Streams{
+		T: res.Stats.T,
+		X: map[int]string{}, YIn: map[int]string{}, YOut: map[int]string{},
+	}
+	for _, e := range res.Stats.Trace.Events {
+		switch e.Port {
+		case systolic.PortX:
+			out.X[e.Cycle] = xLabel(t, e.Index)
+		case systolic.PortYIn:
+			out.YIn[e.Cycle] = yInLabel(t, e.Index)
+		case systolic.PortYOut:
+			out.YOut[e.Cycle] = yOutLabel(t, e.Index)
+		}
+	}
+	return out, nil
+}
+
+// xLabel maps a band column index to its original x element label.
+func xLabel(t *dbt.MatVec, j int) string {
+	w := t.W
+	k := j / w
+	if k >= t.Blocks() { // tail: first w−1 elements of the wrap block
+		_, s := t.LowerIndex(t.Blocks() - 1)
+		return fmt.Sprintf("x%d", s*w+(j-t.Blocks()*w))
+	}
+	return fmt.Sprintf("x%d", (k%t.MBar)*w+j%w)
+}
+
+// yInLabel maps a band row index to its initialization label.
+func yInLabel(t *dbt.MatVec, i int) string {
+	w := t.W
+	k := i / w
+	if src := t.BSource(k); src.Kind == dbt.FromB {
+		return fmt.Sprintf("b%d", src.Index*w+i%w)
+	}
+	return yOutLabel(t, i-w) // the fed-back partial
+}
+
+// yOutLabel maps a band row index to its output label: the p-th partial or
+// the final value of y element r·w + a.
+func yOutLabel(t *dbt.MatVec, i int) string {
+	w := t.W
+	k := i / w
+	r := k / t.MBar
+	p := k%t.MBar + 1
+	elem := r*w + i%w
+	if dst := t.YDest(k); dst.Final {
+		return fmt.Sprintf("y%d", elem)
+	}
+	return fmt.Sprintf("y%d^%d", elem, p)
+}
+
+// Fig3 renders the full data-flow table for the paper's case n=6, m=9, w=3
+// (39 steps).
+func Fig3() string {
+	st, err := Fig3Data(6, 9, 3)
+	if err != nil {
+		return err.Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig.3 — I/O data flow for ȳ = Ā·x̄ + b̄ with n=6, m=9, w=3 (T = %d steps):\n\n", st.T)
+	cycles := map[int]bool{}
+	for c := range st.X {
+		cycles[c] = true
+	}
+	for c := range st.YIn {
+		cycles[c] = true
+	}
+	for c := range st.YOut {
+		cycles[c] = true
+	}
+	var order []int
+	for c := range cycles {
+		order = append(order, c)
+	}
+	sort.Ints(order)
+	sb.WriteString("  clock  x-in   y-in    y-out\n")
+	for _, c := range order {
+		fmt.Fprintf(&sb, "  %5d  %-6s %-7s %s\n", c, st.X[c], st.YIn[c], st.YOut[c])
+	}
+	sb.WriteString("\n  (x elements enter PE0 every 2 cycles; partials y_i^p re-enter PE w−1 after\n")
+	sb.WriteString("   exactly w = 3 cycles in the feedback registers; finals appear in order.)\n")
+	return sb.String()
+}

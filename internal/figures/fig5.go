@@ -1,0 +1,56 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpiralLoop describes one feedback loop of the hexagonal array (Fig. 5):
+// the c-stream diagonals it connects and the number of PEs in the loop.
+type SpiralLoop struct {
+	// OutDiag is the output band diagonal (γ−ρ) being fed back; InDiag the
+	// input band diagonal it re-enters at. OutDiag == InDiag == 0 is the
+	// auto-fed main diagonal.
+	OutDiag, InDiag int
+	// PEs is the number of processing elements on the loop's array path.
+	PEs int
+	// Registers is the external register chain length (the measured
+	// feedback delay): 2w for the main diagonal, w for each pair.
+	Registers int
+}
+
+// SpiralTopology enumerates the regular feedback loops of a w×w array.
+// The main diagonal is auto-feedbacked; sub-diagonals are fed back in
+// pairs (+f with +f−w) such that each loop covers exactly w PEs — the
+// paper's defining property of the "spiral systolic array".
+func SpiralTopology(w int) []SpiralLoop {
+	loops := []SpiralLoop{{OutDiag: 0, InDiag: 0, PEs: w, Registers: 2 * w}}
+	for f := 1; f <= w-1; f++ {
+		// c-diagonal f occupies the PEs with d−e = f: w−f of them; its
+		// partner diagonal f−w occupies f PEs; together exactly w.
+		loops = append(loops, SpiralLoop{OutDiag: f, InDiag: f - w, PEs: (w - f) + f, Registers: w})
+		loops = append(loops, SpiralLoop{OutDiag: f - w, InDiag: f, PEs: w, Registers: w})
+	}
+	return loops
+}
+
+// Fig5 renders the spiral feedback topology of the hexagonal array.
+func Fig5() string {
+	w := 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig.5 — spiral feedback topology of the w×w hexagonal array (w = %d):\n\n", w)
+	sb.WriteString("  c-stream diagonals of the 2w−1-wide product band and their feedback wiring:\n\n")
+	for _, l := range SpiralTopology(w) {
+		kind := "sub-diagonal pair"
+		if l.OutDiag == 0 {
+			kind = "main diagonal (auto-feedback)"
+		}
+		fmt.Fprintf(&sb, "    out diag %+d → in diag %+d   %2d PEs in loop, %d feedback registers  (%s)\n",
+			l.OutDiag, l.InDiag, l.PEs, l.Registers, kind)
+	}
+	sb.WriteString("\n  Every loop covers exactly w PEs; the main diagonal needs 2w memory\n")
+	sb.WriteString("  elements and each sub-diagonal pair w (paper §3). The U_{0,j} and\n")
+	sb.WriteString("  L_{n̄−1,j} chains additionally use the irregular (region-crossing)\n")
+	sb.WriteString("  feedback paths measured in experiment E7.\n")
+	return sb.String()
+}

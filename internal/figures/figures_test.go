@@ -1,0 +1,191 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1(t *testing.T) {
+	s := Fig1()
+	// The band block order of DBT-by-rows for n̄=2, m̄=3.
+	for _, want := range []string{
+		"[U00 | L01]", "[U01 | L02]", "[U02 | L00]",
+		"[U10 | L11]", "[U11 | L12]", "[U12 | L10]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig1 missing %q", want)
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	s := Fig2()
+	if !strings.Contains(s, "T = 2w·n̄m̄+2w−3 = 39") {
+		t.Error("Fig2 missing the 39-step count")
+	}
+	if !strings.Contains(s, "T = w·n̄m̄+2w−2 = 22") {
+		t.Error("Fig2 missing the overlapped 22-step count")
+	}
+	if !strings.Contains(s, "optimal partition") {
+		t.Error("Fig2 missing the dotted partition line")
+	}
+}
+
+// TestFig3DataFlow pins the paper's central data-flow example: 39 steps,
+// the x stream cycling x0..x8 twice plus the x0,x1 tail, b-blocks entering
+// at row-band starts, partials re-entering, finals in order.
+func TestFig3DataFlow(t *testing.T) {
+	st, err := Fig3Data(6, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.T != 39 {
+		t.Fatalf("T=%d, want 39", st.T)
+	}
+	// x stream: x̄_j at cycle 2j, labels x0..x8, x0..x8, x0, x1.
+	var xs []string
+	for c := 0; c <= 38; c += 2 {
+		xs = append(xs, st.X[c])
+	}
+	wantX := []string{
+		"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+		"x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+		"x0", "x1",
+	}
+	if len(xs) != len(wantX) {
+		t.Fatalf("x stream has %d entries, want %d", len(xs), len(wantX))
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] {
+			t.Errorf("x stream[%d] = %q, want %q", i, xs[i], wantX[i])
+		}
+	}
+	// y-in: rows enter at 2i+2: b0,b1,b2, partials of band 0, b3,b4,b5, …
+	wantYIn := []string{
+		"b0", "b1", "b2",
+		"y0^1", "y1^1", "y2^1",
+		"y0^2", "y1^2", "y2^2",
+		"b3", "b4", "b5",
+		"y3^1", "y4^1", "y5^1",
+		"y3^2", "y4^2", "y5^2",
+	}
+	for i, want := range wantYIn {
+		if got := st.YIn[2*i+2]; got != want {
+			t.Errorf("y-in at cycle %d = %q, want %q", 2*i+2, got, want)
+		}
+	}
+	// y-out: row i available at 2i+5; finals y0..y2 at rows 6..8, y3..y5 at 15..17.
+	wantYOut := []string{
+		"y0^1", "y1^1", "y2^1",
+		"y0^2", "y1^2", "y2^2",
+		"y0", "y1", "y2",
+		"y3^1", "y4^1", "y5^1",
+		"y3^2", "y4^2", "y5^2",
+		"y3", "y4", "y5",
+	}
+	for i, want := range wantYOut {
+		if got := st.YOut[2*i+5]; got != want {
+			t.Errorf("y-out at cycle %d = %q, want %q", 2*i+5, got, want)
+		}
+	}
+	// Feedback latency visible in the streams: each partial leaves at
+	// 2i+5 and re-enters at 2(i+3)+2 = 2i+8, i.e. w = 3 cycles later.
+	for i := 0; i < 3; i++ {
+		if st.YOut[2*i+5] != st.YIn[2*i+8] {
+			t.Errorf("partial of row %d not fed back after w cycles", i)
+		}
+	}
+}
+
+// TestFig3DataOtherShapes: the traced stream structure generalizes to any
+// (n, m, w) — T matches the formula, the x stream cycles m̄ blocks n̄ times
+// plus the w−1 tail, and every y row appears exactly once on each port.
+func TestFig3DataOtherShapes(t *testing.T) {
+	for _, c := range []struct{ n, m, w int }{
+		{4, 4, 2}, {8, 4, 4}, {5, 7, 3}, {2, 10, 2},
+	} {
+		st, err := Fig3Data(c.n, c.m, c.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb := (c.n + c.w - 1) / c.w
+		mb := (c.m + c.w - 1) / c.w
+		if want := 2*c.w*nb*mb + 2*c.w - 3; st.T != want {
+			t.Errorf("%+v: T=%d, want %d", c, st.T, want)
+		}
+		if got, want := len(st.X), nb*mb*c.w+c.w-1; got != want {
+			t.Errorf("%+v: %d x events, want %d", c, got, want)
+		}
+		if got, want := len(st.YIn), nb*mb*c.w; got != want {
+			t.Errorf("%+v: %d y-in events, want %d", c, got, want)
+		}
+		if got, want := len(st.YOut), nb*mb*c.w; got != want {
+			t.Errorf("%+v: %d y-out events, want %d", c, got, want)
+		}
+		// Finals: exactly n̄·w "y<i>" labels without a caret.
+		finals := 0
+		for _, l := range st.YOut {
+			if !strings.ContainsRune(l, '^') {
+				finals++
+			}
+		}
+		if want := nb * c.w; finals != want {
+			t.Errorf("%+v: %d final labels, want %d", c, finals, want)
+		}
+	}
+}
+
+func TestFig3Rendering(t *testing.T) {
+	s := Fig3()
+	for _, want := range []string{"T = 39 steps", "y0^1", "b3", "y5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig3 missing %q", want)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	s := Fig4()
+	for _, want := range []string{
+		"[U00 L01]", "[U01 L00]", "[U10 L11]", "[U11 L10]", // Ā pattern
+		"[L⁺0,0 U⁻1,0]", "L′", "U′",
+		"p̄n̄m̄w + w−1 = 38",
+		"T = 3w·p̄n̄m̄+4w−5 = 115",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig4 missing %q", want)
+		}
+	}
+}
+
+// TestSpiralTopology pins Fig. 5's defining property: every feedback loop
+// covers exactly w PEs, the main diagonal uses 2w registers, pairs use w.
+func TestSpiralTopology(t *testing.T) {
+	for _, w := range []int{2, 3, 5, 8} {
+		loops := SpiralTopology(w)
+		if len(loops) != 2*(w-1)+1 {
+			t.Fatalf("w=%d: %d loops, want %d", w, len(loops), 2*(w-1)+1)
+		}
+		for _, l := range loops {
+			if l.PEs != w {
+				t.Errorf("w=%d: loop %+d→%+d covers %d PEs, want %d", w, l.OutDiag, l.InDiag, l.PEs, w)
+			}
+			wantReg := w
+			if l.OutDiag == 0 {
+				wantReg = 2 * w
+			}
+			if l.Registers != wantReg {
+				t.Errorf("w=%d: loop %+d→%+d has %d registers, want %d", w, l.OutDiag, l.InDiag, l.Registers, wantReg)
+			}
+		}
+	}
+}
+
+func TestFig5Fig6Render(t *testing.T) {
+	if s := Fig5(); !strings.Contains(s, "main diagonal (auto-feedback)") {
+		t.Error("Fig5 missing auto-feedback")
+	}
+	if s := Fig6(); !strings.Contains(s, "L_{i,0}  D_i  U_{i,1}") {
+		t.Error("Fig6 missing the piece layout")
+	}
+}

@@ -1,0 +1,100 @@
+package hex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestThreeWayOverlap: three independent band products with offsets 0, 1, 2
+// interleave on one array with no structural conflicts (the engine panics
+// on any collision), all three compute exactly, and the total span is just
+// two cycles beyond a single run.
+func TestThreeWayOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	w, dim := 3, 10
+	var progs []*Program
+	for o := 0; o < 3; o++ {
+		a, b := randBands(rng, dim, w)
+		p := plainProgram(a, b, nil)
+		p.Offset = o
+		progs = append(progs, p)
+	}
+	res := New(w).Run(progs...)
+	if got, want := res.T, 3*(dim-1)+w+1+2; got != want {
+		t.Errorf("3-way overlapped T=%d, want %d", got, want)
+	}
+	// Verify outputs per program against the reference products.
+	for o, p := range progs {
+		for i := 0; i < dim; i++ {
+			for f := -(w - 1); f <= w-1; f++ {
+				j := i + f
+				if j < 0 || j >= dim {
+					continue
+				}
+				want := 0.0
+				for k := 0; k < dim; k++ {
+					want += p.AAt(i, k) * p.BAt(k, j)
+				}
+				if got := res.Progs[o].At(i, j); got != want {
+					t.Fatalf("prog %d O[%d][%d]=%g, want %g", o, i, j, got, want)
+				}
+			}
+		}
+	}
+	// Utilization approaches 3× a single run's.
+	single := New(w).Run(progs[0])
+	if res.Activity.Total() != 3*single.Activity.Total() {
+		t.Errorf("3-way MACs %d, want %d", res.Activity.Total(), 3*single.Activity.Total())
+	}
+	if u := res.Activity.Utilization(); u < 2.8*single.Activity.Utilization() {
+		t.Errorf("3-way utilization %.3f did not triple single %.3f", u, single.Activity.Utilization())
+	}
+}
+
+// TestOverlapCollisionDetected: two programs with offsets equal modulo 3
+// must collide structurally.
+func TestOverlapCollisionDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	w, dim := 3, 6
+	a, b := randBands(rng, dim, w)
+	p1 := plainProgram(a, b, nil)
+	p2 := plainProgram(a, b, nil)
+	p2.Offset = 3 // ≡ 0 (mod 3): same wavefront slots
+	defer func() {
+		if recover() == nil {
+			t.Error("expected collision panic")
+		}
+	}()
+	New(w).Run(p1, p2)
+}
+
+// TestOverlapWithFeedback: overlapped programs keep their feedback chains
+// separate (per-program output records).
+func TestOverlapWithFeedback(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	w, dim := 2, 8
+	mk := func(offset int) *Program {
+		a, b := randBands(rng, dim, w)
+		p := plainProgram(a, b, nil)
+		p.Offset = offset
+		p.CInitFor = func(rho, gamma int) CInit {
+			if rho == gamma && rho >= w {
+				return CInit{Feedback: true, SrcRow: rho - w, SrcCol: gamma - w}
+			}
+			return CInit{}
+		}
+		return p
+	}
+	progs := []*Program{mk(0), mk(1), mk(2)}
+	res := New(w).Run(progs...)
+	for o := range progs {
+		if got, want := len(res.Progs[o].Feedback), dim-w; got != want {
+			t.Errorf("prog %d: %d feedback edges, want %d", o, got, want)
+		}
+		for _, f := range res.Progs[o].Feedback {
+			if f.Delay() != 2*w {
+				t.Errorf("prog %d: delay %d, want %d", o, f.Delay(), 2*w)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package linear implements a cycle-accurate structural simulator of
+// H.T. Kung's linear contraflow systolic array for band matrix–vector
+// multiplication (the "Type 1" array of Mead & Conway §8.3, used by the
+// paper for DBT-by-rows problems), extended with the paper's feedback path:
+// the ȳ output of PE 0 re-enters PE w−1 through a chain of w registers so
+// partial results never leave the array system.
+//
+// Geometry and timing (one clock tick = one paper step):
+//
+//   - PEs 0..w−1 in a row. The x̄ stream enters PE 0 and moves right one PE
+//     per cycle; the ȳ stream enters PE w−1 and moves left one PE per cycle
+//     (contraflow). Band coefficients enter from above: diagonal d = j−i of
+//     the upper band is wired to PE w−1−d.
+//   - x̄_j occupies PE 0 at cycle 2j; ȳ_i enters PE w−1 at cycle 2i+w−1;
+//     they meet exactly once per band coefficient, Ā[i][j] being consumed at
+//     PE w−1−(j−i) at cycle i+j+w−1; ȳ_i performs its last accumulation at
+//     PE 0 at cycle 2i+2w−2 and is emitted at cycle 2i+2w−1.
+//   - Successive elements of each stream are spaced two cycles apart, so a
+//     PE works every other cycle (η ≤ ½); a second problem offset by one
+//     cycle fills the idle slots (the paper's overlapping, η → 1).
+//
+// The run is structural: per cycle the engine injects boundary values,
+// lets every PE with a full complement of operands execute one MAC, emits
+// and retires boundary values, and shifts all registers.
+package linear
+
+import (
+	"fmt"
+
+	"repro/internal/systolic"
+)
+
+// YInit describes the initialization of one ȳ row: either an external value
+// (an element of b̄) or the feedback of an earlier row's output.
+type YInit struct {
+	Feedback bool
+	// Value is the external initialization when !Feedback.
+	Value float64
+	// SrcRow is the producing band row when Feedback.
+	SrcRow int
+}
+
+// Program is one band matrix–vector problem ȳ = Ā·x̄ + b̄ scheduled on the
+// array. Rows is the band row count, X the full x̄ stream (len = band cols),
+// BandAt the coefficient reader, and YInitFor the per-row initialization.
+// Offset shifts every injection by a fixed number of cycles (used for
+// overlapping two problems).
+type Program struct {
+	Rows   int
+	X      []float64
+	BandAt func(i, j int) float64
+	YInit  func(i int) YInit
+	Offset int
+}
+
+// lastComputeCycle returns the cycle of the final MAC of the program.
+func (p *Program) lastComputeCycle(w int) int {
+	return p.Offset + 2*(p.Rows-1) + 2*w - 2
+}
+
+// Result holds the outcome of a run.
+type Result struct {
+	// Y[prog][i] is the emitted value for band row i of each program.
+	Y [][]float64
+	// EmitCycle[prog][i] is the cycle at which that value left PE 0.
+	EmitCycle [][]int
+	// T is the total step count: last compute cycle + 1 (cycle 0 is the
+	// first injection).
+	T int
+	// Activity is the per-PE MAC accounting.
+	Activity *systolic.Activity
+	// Feedback lists every realized feedback edge with measured delay.
+	Feedback []systolic.FeedbackObservation
+	// Trace is the boundary trace when requested, else nil.
+	Trace *systolic.Trace
+	// GroupableConflicts counts cycles in which two logical PEs of the same
+	// physical pair (2q, 2q+1) fired together. The paper's "grouping every
+	// 2 PEs in 1" (§2) is sound exactly when this is zero — true for any
+	// single program, false once two offset problems share the array.
+	GroupableConflicts int
+}
+
+// GroupedUtilization returns MACs/(⌈w/2⌉·T): the PE utilization when every
+// two adjacent PEs share one physical unit (the paper's grouping option,
+// which reaches 100% because adjacent PEs fire on opposite cycle
+// parities). It is only meaningful when GroupableConflicts is zero.
+func (r *Result) GroupedUtilization() float64 {
+	if r.Activity.Cycles == 0 {
+		return 0
+	}
+	physical := (len(r.Activity.MACs) + 1) / 2
+	return float64(r.Activity.Total()) / (float64(physical) * float64(r.Activity.Cycles))
+}
+
+// Array is the simulator for a fixed array size w.
+type Array struct {
+	W int
+	// RecordTrace enables boundary event recording (Fig. 3).
+	RecordTrace bool
+}
+
+// New returns an array simulator with w PEs.
+func New(w int) *Array {
+	if w < 1 {
+		panic(fmt.Sprintf("linear: invalid array size %d", w))
+	}
+	return &Array{W: w}
+}
+
+type item struct {
+	live bool
+	prog int
+	idx  int
+	val  float64
+}
+
+// Run executes one or more programs on the array simultaneously and returns
+// the merged result. Programs must not collide on injection slots; the
+// engine panics on any structural conflict (this is what makes the overlap
+// mode a checked claim rather than an assumption).
+func (ar *Array) Run(progs ...*Program) *Result {
+	if len(progs) == 0 {
+		panic("linear: no programs")
+	}
+	w := ar.W
+	res := &Result{
+		Y:         make([][]float64, len(progs)),
+		EmitCycle: make([][]int, len(progs)),
+		Activity:  systolic.NewActivity(w),
+	}
+	if ar.RecordTrace {
+		res.Trace = &systolic.Trace{}
+	}
+	maxT := 0
+	for pi, p := range progs {
+		if p.Rows < 1 {
+			panic(fmt.Sprintf("linear: program %d has no rows", pi))
+		}
+		if len(p.X) < p.Rows+w-1 {
+			panic(fmt.Sprintf("linear: program %d x̄ stream too short: %d < %d", pi, len(p.X), p.Rows+w-1))
+		}
+		res.Y[pi] = make([]float64, p.Rows)
+		res.EmitCycle[pi] = make([]int, p.Rows)
+		for i := range res.EmitCycle[pi] {
+			res.EmitCycle[pi][i] = -1
+		}
+		if t := p.lastComputeCycle(w); t > maxT {
+			maxT = t
+		}
+	}
+
+	xregs := make([]item, w)
+	yregs := make([]item, w)
+	aIn := make([]item, w)
+
+	for t := 0; t <= maxT; t++ {
+		// Phase 1: boundary injection for cycle t.
+		for k := range aIn {
+			aIn[k] = item{}
+		}
+		for pi, p := range progs {
+			lt := t - p.Offset
+			if lt < 0 {
+				continue
+			}
+			// x̄_j enters PE 0 at local cycle 2j.
+			if lt%2 == 0 {
+				if j := lt / 2; j < len(p.X) {
+					if xregs[0].live {
+						panic(fmt.Sprintf("linear: x injection collision at cycle %d", t))
+					}
+					xregs[0] = item{live: true, prog: pi, idx: j, val: p.X[j]}
+					res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortX, Prog: pi, Index: j, Value: p.X[j]})
+				}
+			}
+			// ȳ_i enters PE w−1 at local cycle 2i+w−1.
+			if (lt-(w-1))%2 == 0 {
+				if i := (lt - (w - 1)) / 2; i >= 0 && i < p.Rows {
+					if yregs[w-1].live {
+						panic(fmt.Sprintf("linear: y injection collision at cycle %d", t))
+					}
+					init := p.YInit(i)
+					v := init.Value
+					if init.Feedback {
+						src := init.SrcRow
+						ec := res.EmitCycle[pi][src]
+						if ec < 0 {
+							panic(fmt.Sprintf("linear: acausal feedback: row %d needs row %d at cycle %d before it was emitted", i, src, t))
+						}
+						v = res.Y[pi][src]
+						res.Feedback = append(res.Feedback, systolic.FeedbackObservation{
+							SrcIndex: src, DstIndex: i, EmitCycle: ec, InjectCycle: t,
+						})
+					}
+					yregs[w-1] = item{live: true, prog: pi, idx: i, val: v}
+					res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortYIn, Prog: pi, Index: i, Value: v})
+				}
+			}
+			// Ā[i][j] enters PE w−1−d at local cycle i+j+w−1 = 2i+d+w−1.
+			for d := 0; d < w; d++ {
+				if (lt-d-(w-1))%2 != 0 {
+					continue
+				}
+				i := (lt - d - (w - 1)) / 2
+				if i < 0 || i >= p.Rows {
+					continue
+				}
+				k := w - 1 - d
+				if aIn[k].live {
+					panic(fmt.Sprintf("linear: a injection collision at PE %d cycle %d", k, t))
+				}
+				v := p.BandAt(i, i+d)
+				aIn[k] = item{live: true, prog: pi, idx: i, val: v}
+				res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortA, Prog: pi, Index: i*w + d, Value: v})
+			}
+		}
+
+		// Phase 2: compute. A PE fires when x, y and a are all present; the
+		// engine cross-checks that the three operands belong to the same
+		// program and meet at the PE the timing model predicts.
+		fired := make([]bool, w)
+		for k := 0; k < w; k++ {
+			if !xregs[k].live || !yregs[k].live || !aIn[k].live {
+				continue
+			}
+			fired[k] = true
+			if xregs[k].prog != yregs[k].prog || xregs[k].prog != aIn[k].prog {
+				panic(fmt.Sprintf("linear: program mix at PE %d cycle %d", k, t))
+			}
+			i, j := yregs[k].idx, xregs[k].idx
+			if j-i != w-1-k {
+				panic(fmt.Sprintf("linear: misaligned meeting at PE %d cycle %d: row %d col %d", k, t, i, j))
+			}
+			yregs[k].val += aIn[k].val * xregs[k].val
+			res.Activity.MACs[k]++
+		}
+		for q := 0; q+1 < w; q += 2 {
+			if fired[q] && fired[q+1] {
+				res.GroupableConflicts++
+			}
+		}
+
+		// Phase 3: emit at the boundaries, then shift.
+		if yregs[0].live {
+			p := yregs[0]
+			res.Y[p.prog][p.idx] = p.val
+			res.EmitCycle[p.prog][p.idx] = t + 1 // available after this cycle
+			res.Trace.Record(systolic.Event{Cycle: t + 1, Port: systolic.PortYOut, Prog: p.prog, Index: p.idx, Value: p.val})
+		}
+		for k := 0; k+1 < w; k++ {
+			yregs[k] = yregs[k+1]
+		}
+		yregs[w-1] = item{}
+		for k := w - 1; k >= 1; k-- {
+			xregs[k] = xregs[k-1]
+		}
+		xregs[0] = item{}
+	}
+
+	res.T = maxT + 1
+	res.Activity.Cycles = res.T
+	return res
+}

@@ -1,0 +1,59 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestGroupingIsConflictFree: for any single program, adjacent PEs never
+// fire in the same cycle (opposite parities), so the paper's "grouping
+// every 2 PEs in 1" is structurally sound and grouped utilization doubles.
+func TestGroupingIsConflictFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, w := range []int{2, 3, 4, 6, 7} {
+		rows := 4 * w
+		b := randBand(rng, rows, w)
+		x := matrix.RandomVector(rng, b.Cols(), 4)
+		res := New(w).Run(bandProgram(b, x, nil, 0))
+		if res.GroupableConflicts != 0 {
+			t.Errorf("w=%d: %d grouping conflicts, want 0", w, res.GroupableConflicts)
+		}
+		plain := res.Activity.Utilization()
+		grouped := res.GroupedUtilization()
+		wantRatio := float64(w) / float64((w+1)/2)
+		if got := grouped / plain; got < wantRatio-1e-9 || got > wantRatio+1e-9 {
+			t.Errorf("w=%d: grouped/plain = %.4f, want %.4f", w, got, wantRatio)
+		}
+	}
+}
+
+// TestGroupedUtilizationApproachesOne: with even w and a long problem,
+// grouped utilization approaches 1 (the paper's "raised 100%" claim).
+func TestGroupedUtilizationApproachesOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	w := 4
+	rows := 64 * w
+	b := randBand(rng, rows, w)
+	x := matrix.RandomVector(rng, b.Cols(), 4)
+	res := New(w).Run(bandProgram(b, x, nil, 0))
+	if u := res.GroupedUtilization(); u < 0.95 {
+		t.Errorf("grouped utilization %.4f, want near 1", u)
+	}
+}
+
+// TestGroupingConflictsUnderOverlap: once two offset problems share the
+// array every slot is busy, so grouping must report conflicts — the two
+// optimizations are mutually exclusive, as the paper's "or" implies.
+func TestGroupingConflictsUnderOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	w, rows := 4, 12
+	b1, b2 := randBand(rng, rows, w), randBand(rng, rows, w)
+	x1 := matrix.RandomVector(rng, b1.Cols(), 4)
+	x2 := matrix.RandomVector(rng, b2.Cols(), 4)
+	res := New(w).Run(bandProgram(b1, x1, nil, 0), bandProgram(b2, x2, nil, 1))
+	if res.GroupableConflicts == 0 {
+		t.Error("expected grouping conflicts under overlap")
+	}
+}

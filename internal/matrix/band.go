@@ -1,0 +1,164 @@
+package matrix
+
+import "fmt"
+
+// Band is a band matrix storing only the diagonals d = j−i with
+// Lo ≤ d ≤ Hi. The DBT-by-rows transform produces upper bands
+// (Lo = 0, Hi = w−1), DBT-transposed-by-rows produces lower bands
+// (Lo = −(w−1), Hi = 0), and their product on the hexagonal array has
+// Lo = −(w−1), Hi = w−1 (bandwidth 2w−1).
+//
+// Storage is row-compact: row i keeps Width() slots for diagonals Lo..Hi.
+type Band struct {
+	rows, cols int
+	lo, hi     int
+	data       []float64
+}
+
+// NewBand returns a zeroed rows×cols band matrix holding diagonals lo..hi.
+func NewBand(rows, cols, lo, hi int) *Band {
+	if rows < 0 || cols < 0 || lo > hi {
+		panic(fmt.Sprintf("matrix: invalid band %d×%d diag [%d,%d]", rows, cols, lo, hi))
+	}
+	return &Band{rows: rows, cols: cols, lo: lo, hi: hi, data: make([]float64, rows*(hi-lo+1))}
+}
+
+// Rows returns the number of rows.
+func (b *Band) Rows() int { return b.rows }
+
+// Cols returns the number of columns.
+func (b *Band) Cols() int { return b.cols }
+
+// Lo returns the lowest stored diagonal (j−i).
+func (b *Band) Lo() int { return b.lo }
+
+// Hi returns the highest stored diagonal (j−i).
+func (b *Band) Hi() int { return b.hi }
+
+// Width returns the number of stored diagonals (the bandwidth).
+func (b *Band) Width() int { return b.hi - b.lo + 1 }
+
+// InBand reports whether (i, j) lies inside the matrix and the band.
+func (b *Band) InBand(i, j int) bool {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		return false
+	}
+	d := j - i
+	return d >= b.lo && d <= b.hi
+}
+
+// At returns element (i, j); positions outside the band read as zero,
+// positions outside the matrix panic.
+func (b *Band) At(i, j int) float64 {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("matrix: band index (%d,%d) out of range %d×%d", i, j, b.rows, b.cols))
+	}
+	d := j - i
+	if d < b.lo || d > b.hi {
+		return 0
+	}
+	return b.data[i*b.Width()+(d-b.lo)]
+}
+
+// Set assigns element (i, j); it panics if (i, j) is outside the band.
+func (b *Band) Set(i, j int, v float64) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("matrix: band set (%d,%d) outside band [%d,%d] of %d×%d", i, j, b.lo, b.hi, b.rows, b.cols))
+	}
+	b.data[i*b.Width()+(j-i-b.lo)] = v
+}
+
+// Add adds v to element (i, j); it panics if (i, j) is outside the band.
+func (b *Band) Add(i, j int, v float64) {
+	if !b.InBand(i, j) {
+		panic(fmt.Sprintf("matrix: band add (%d,%d) outside band", i, j))
+	}
+	b.data[i*b.Width()+(j-i-b.lo)] += v
+}
+
+// Dense expands the band to a dense matrix.
+func (b *Band) Dense() *Dense {
+	m := NewDense(b.rows, b.cols)
+	for i := 0; i < b.rows; i++ {
+		for d := b.lo; d <= b.hi; d++ {
+			j := i + d
+			if j >= 0 && j < b.cols {
+				m.Set(i, j, b.data[i*b.Width()+(d-b.lo)])
+			}
+		}
+	}
+	return m
+}
+
+// MulVec computes b·x + c by reference band arithmetic. c may be nil.
+func (b *Band) MulVec(x, c Vector) Vector {
+	if len(x) != b.cols {
+		panic(fmt.Sprintf("matrix: band MulVec dim mismatch: %d cols vs len(x)=%d", b.cols, len(x)))
+	}
+	y := make(Vector, b.rows)
+	for i := 0; i < b.rows; i++ {
+		s := 0.0
+		for d := b.lo; d <= b.hi; d++ {
+			if j := i + d; j >= 0 && j < b.cols {
+				s += b.data[i*b.Width()+(d-b.lo)] * x[j]
+			}
+		}
+		if c != nil {
+			s += c[i]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul computes the band product b·other as a new band matrix with diagonal
+// range [b.lo+other.lo, b.hi+other.hi] (reference implementation used to
+// validate the hexagonal array).
+func (b *Band) Mul(other *Band) *Band {
+	if b.cols != other.rows {
+		panic(fmt.Sprintf("matrix: band Mul dim mismatch: %d×%d · %d×%d", b.rows, b.cols, other.rows, other.cols))
+	}
+	c := NewBand(b.rows, other.cols, b.lo+other.lo, b.hi+other.hi)
+	for i := 0; i < b.rows; i++ {
+		for d := b.lo; d <= b.hi; d++ {
+			k := i + d
+			if k < 0 || k >= b.cols {
+				continue
+			}
+			a := b.data[i*b.Width()+(d-b.lo)]
+			if a == 0 {
+				continue
+			}
+			for e := other.lo; e <= other.hi; e++ {
+				if j := k + e; j >= 0 && j < other.cols {
+					c.Add(i, j, a*other.At(k, j))
+				}
+			}
+		}
+	}
+	return c
+}
+
+// NonzeroCount returns the number of stored positions that are nonzero.
+func (b *Band) NonzeroCount() int {
+	n := 0
+	for _, v := range b.data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StoredCount returns the number of in-matrix band positions.
+func (b *Band) StoredCount() int {
+	n := 0
+	for i := 0; i < b.rows; i++ {
+		for d := b.lo; d <= b.hi; d++ {
+			if j := i + d; j >= 0 && j < b.cols {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomBand(rng *rand.Rand, rows, cols, lo, hi int) *Band {
+	b := NewBand(rows, cols, lo, hi)
+	for i := 0; i < rows; i++ {
+		for d := lo; d <= hi; d++ {
+			if j := i + d; j >= 0 && j < cols {
+				b.Set(i, j, float64(rng.Intn(9)-4))
+			}
+		}
+	}
+	return b
+}
+
+func TestBandAccessors(t *testing.T) {
+	b := NewBand(4, 4, -1, 1)
+	b.Set(1, 2, 7)
+	b.Add(1, 2, 1)
+	if b.At(1, 2) != 8 {
+		t.Error("Set/Add broken")
+	}
+	if b.At(0, 3) != 0 {
+		t.Error("out-of-band must read zero")
+	}
+	if b.Width() != 3 || b.Lo() != -1 || b.Hi() != 1 {
+		t.Error("band shape accessors broken")
+	}
+	if b.InBand(0, 3) || !b.InBand(2, 1) {
+		t.Error("InBand broken")
+	}
+	mustPanic(t, func() { b.Set(0, 3, 1) })
+	mustPanic(t, func() { b.At(-1, 0) })
+	mustPanic(t, func() { NewBand(2, 2, 1, 0) })
+}
+
+// TestBandDenseRoundTrip: a band's dense expansion agrees element-wise.
+func TestBandDenseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		lo := -rng.Intn(3)
+		hi := rng.Intn(3)
+		b := randomBand(rng, rows, cols, lo, hi)
+		d := b.Dense()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if d.At(i, j) != b.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBandMulVecMatchesDense: band MulVec equals dense MulVec (property).
+func TestBandMulVecMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		b := randomBand(rng, rows, cols, -rng.Intn(3), rng.Intn(3))
+		x := RandomVector(rng, cols, 4)
+		c := RandomVector(rng, rows, 4)
+		return b.MulVec(x, c).Equal(b.Dense().MulVec(x, c), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBandMulMatchesDense: band product equals dense product (property).
+func TestBandMulMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomBand(rng, n, n, 0, rng.Intn(3))
+		b := randomBand(rng, n, n, -rng.Intn(3), 0)
+		return a.Mul(b).Dense().Equal(a.Dense().Mul(b.Dense()), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandCounts(t *testing.T) {
+	b := NewBand(3, 3, 0, 1)
+	if b.StoredCount() != 5 { // 3 diagonal + 2 superdiagonal
+		t.Errorf("StoredCount=%d, want 5", b.StoredCount())
+	}
+	b.Set(0, 0, 1)
+	b.Set(1, 2, 2)
+	if b.NonzeroCount() != 2 {
+		t.Errorf("NonzeroCount=%d, want 2", b.NonzeroCount())
+	}
+}
+
+func TestBandMulDimMismatch(t *testing.T) {
+	a := NewBand(2, 3, 0, 1)
+	b := NewBand(2, 2, -1, 0)
+	mustPanic(t, func() { a.Mul(b) })
+	mustPanic(t, func() { a.MulVec(make(Vector, 2), nil) })
+}

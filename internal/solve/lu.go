@@ -1,0 +1,235 @@
+package solve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// LUStats reports the array work of a factorization or inversion.
+type LUStats struct {
+	// ArraySteps is the total simulated systolic step count.
+	ArraySteps int
+	// ArrayPasses counts hexagonal array invocations.
+	ArrayPasses int
+	// HostOps counts host-side scalar operations (the w×w diagonal-block
+	// factorizations/substitutions — the report-/8/ substitution; all
+	// O(n³) work runs on the array).
+	HostOps int
+}
+
+// BlockLU factors a square matrix A = L·U without pivoting, block size w:
+// a right-looking block algorithm whose trailing updates
+// A₂₂ ← A₂₂ − L₂₁·U₁₂ each run as a single hexagonal-array pass
+// (C = (−L₂₁)·U₁₂ + E with E = A₂₂ — the array's additive input doing the
+// subtraction). L is unit lower triangular, U upper triangular. A must
+// have nonsingular leading minors (e.g. diagonally dominant).
+//
+// The paper's conclusions (§4) list L-U decomposition among the problems
+// the methodology solves; the w×w diagonal-block factorizations and panel
+// substitutions stay on the host (see DESIGN.md §4).
+func BlockLU(a *matrix.Dense, w int) (l, u *matrix.Dense, stats *LUStats, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, nil, fmt.Errorf("solve: BlockLU needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	work := a.Clone()
+	l = matrix.NewDense(n, n)
+	u = matrix.NewDense(n, n)
+	stats = &LUStats{}
+	solver := core.NewMatMulSolver(w)
+
+	for k0 := 0; k0 < n; k0 += w {
+		k1 := k0 + w
+		if k1 > n {
+			k1 = n
+		}
+		// Host: factor the diagonal block (Doolittle, unit L).
+		for i := k0; i < k1; i++ {
+			for j := k0; j < k1; j++ {
+				s := work.At(i, j)
+				for t := k0; t < min(i, j); t++ {
+					s -= l.At(i, t) * u.At(t, j)
+					stats.HostOps += 2
+				}
+				if j >= i {
+					u.Set(i, j, s)
+				} else {
+					if u.At(j, j) == 0 {
+						return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
+					}
+					l.Set(i, j, s/u.At(j, j))
+					stats.HostOps++
+				}
+			}
+			l.Set(i, i, 1)
+		}
+		if k1 == n {
+			break
+		}
+		// Host: panels. L₂₁ = A₂₁·U₁₁⁻¹ (back substitution per row),
+		// U₁₂ = L₁₁⁻¹·A₁₂ (forward substitution per column).
+		for i := k1; i < n; i++ {
+			for j := k0; j < k1; j++ {
+				s := work.At(i, j)
+				for t := k0; t < j; t++ {
+					s -= l.At(i, t) * u.At(t, j)
+					stats.HostOps += 2
+				}
+				if u.At(j, j) == 0 {
+					return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
+				}
+				l.Set(i, j, s/u.At(j, j))
+				stats.HostOps++
+			}
+		}
+		for j := k1; j < n; j++ {
+			for i := k0; i < k1; i++ {
+				s := work.At(i, j)
+				for t := k0; t < i; t++ {
+					s -= l.At(i, t) * u.At(t, j)
+					stats.HostOps += 2
+				}
+				u.Set(i, j, s)
+			}
+		}
+		// Array: trailing update A₂₂ ← (−L₂₁)·U₁₂ + A₂₂ in one pass.
+		negL := matrix.NewDense(n-k1, k1-k0)
+		for i := k1; i < n; i++ {
+			for j := k0; j < k1; j++ {
+				negL.Set(i-k1, j-k0, -l.At(i, j))
+			}
+		}
+		res, err := solver.Solve(negL, u.Slice(k0, k1, k1, n),
+			core.MatMulOptions{E: work.Slice(k1, n, k1, n)})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stats.ArraySteps += res.Stats.T
+		stats.ArrayPasses++
+		for i := k1; i < n; i++ {
+			for j := k1; j < n; j++ {
+				work.Set(i, j, res.C.At(i-k1, j-k1))
+			}
+		}
+	}
+	return l, u, stats, nil
+}
+
+// LowerTriangularInverse inverts a lower triangular matrix by blocks:
+// X_kk = L_kk⁻¹ on the host (w×w), and each off-diagonal block
+// X_ik = −L_ii⁻¹·(Σ_j L_ij·X_jk) with the inner products run as
+// hexagonal-array passes (C = L_panel·X_panel + E accumulations).
+func LowerTriangularInverse(lo *matrix.Dense, w int) (*matrix.Dense, *LUStats, error) {
+	n := lo.Rows()
+	if lo.Cols() != n {
+		return nil, nil, fmt.Errorf("solve: inverse needs a square matrix, got %d×%d", n, lo.Cols())
+	}
+	stats := &LUStats{}
+	solver := core.NewMatMulSolver(w)
+	x := matrix.NewDense(n, n)
+	nb := (n + w - 1) / w
+	bounds := func(b int) (int, int) {
+		hi := (b + 1) * w
+		if hi > n {
+			hi = n
+		}
+		return b * w, hi
+	}
+	// Host: invert the diagonal blocks by forward substitution.
+	for b := 0; b < nb; b++ {
+		lo0, hi0 := bounds(b)
+		for c := lo0; c < hi0; c++ {
+			if lo.At(c, c) == 0 {
+				return nil, nil, fmt.Errorf("solve: singular diagonal at %d", c)
+			}
+			x.Set(c, c, 1/lo.At(c, c))
+			stats.HostOps++
+			for i := c + 1; i < hi0; i++ {
+				s := 0.0
+				for j := c; j < i; j++ {
+					s += lo.At(i, j) * x.At(j, c)
+					stats.HostOps += 2
+				}
+				x.Set(i, c, -s/lo.At(i, i))
+				stats.HostOps++
+			}
+		}
+	}
+	// Array: X_ik = −(L_ii⁻¹)·(Σ_{k≤j<i} L_ij X_jk), one pass per block row
+	// i per target column k, accumulating through the E input.
+	for bi := 1; bi < nb; bi++ {
+		li0, li1 := bounds(bi)
+		for bk := bi - 1; bk >= 0; bk-- {
+			lk0, lk1 := bounds(bk)
+			// S = Σ_j L[bi, j]·X[j, bk] over k ≤ j < i via one array pass:
+			// the row panel L[bi, bk..bi) times the column panel X[bk..bi, bk].
+			res, err := solver.Solve(lo.Slice(li0, li1, lk0, li0), x.Slice(lk0, li0, lk0, lk1),
+				core.MatMulOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.ArraySteps += res.Stats.T
+			stats.ArrayPasses++
+			// X[bi, bk] = −L_ii⁻¹·S: the diagonal inverse block is already
+			// in x[bi, bi]; one more array pass multiplies it in.
+			diagInv := x.Slice(li0, li1, li0, li1)
+			neg := matrix.NewDense(li1-li0, li1-li0)
+			for i := 0; i < li1-li0; i++ {
+				for j := 0; j < li1-li0; j++ {
+					neg.Set(i, j, -diagInv.At(i, j))
+				}
+			}
+			res2, err := solver.Solve(neg, res.C, core.MatMulOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.ArraySteps += res2.Stats.T
+			stats.ArrayPasses++
+			for i := li0; i < li1; i++ {
+				for j := lk0; j < lk1; j++ {
+					x.Set(i, j, res2.C.At(i-li0, j-lk0))
+				}
+			}
+		}
+	}
+	return x, stats, nil
+}
+
+// Inverse inverts a dense matrix as U⁻¹·L⁻¹ from its block LU
+// factorization: both triangular inverses use LowerTriangularInverse (U via
+// transposition) and the final product is one more array pass. This closes
+// the §4 list ("inverses of triangular and dense matrices").
+func Inverse(a *matrix.Dense, w int) (*matrix.Dense, *LUStats, error) {
+	l, u, st, err := BlockLU(a, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	linv, st2, err := LowerTriangularInverse(l, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	uinvT, st3, err := LowerTriangularInverse(u.Transpose(), w)
+	if err != nil {
+		return nil, nil, err
+	}
+	solver := core.NewMatMulSolver(w)
+	res, err := solver.Solve(uinvT.Transpose(), linv, core.MatMulOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &LUStats{
+		ArraySteps:  st.ArraySteps + st2.ArraySteps + st3.ArraySteps + res.Stats.T,
+		ArrayPasses: st.ArrayPasses + st2.ArrayPasses + st3.ArrayPasses + 1,
+		HostOps:     st.HostOps + st2.HostOps + st3.HostOps,
+	}
+	return res.C, stats, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,198 @@
+// Package solve implements the applications the paper's conclusions list as
+// further uses of the methodology (§4, detailed in the authors' report
+// /8/, which is not publicly available): iterative linear system solution
+// (Jacobi and block Gauss–Seidel sweeps whose matrix–vector work runs
+// through the DBT linear array) and triangular system solution by block
+// forward substitution with the off-diagonal work on the array.
+//
+// Everything O(n²) per sweep goes through the fixed-size systolic array via
+// DBT; only the O(n·w) diagonal-block substitutions of the triangular
+// solver remain on the host (the substitution for report /8/'s in-array
+// scheme, documented in DESIGN.md §4).
+package solve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// ErrNoConvergence is returned when an iterative method exhausts its sweep
+// budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("solve: iteration did not converge")
+
+// IterStats reports an iterative solve.
+type IterStats struct {
+	// Sweeps is the number of iterations executed.
+	Sweeps int
+	// Residual is the final ‖A·x − d‖∞.
+	Residual float64
+	// ArraySteps is the total simulated systolic step count across sweeps.
+	ArraySteps int
+}
+
+// Jacobi solves A·x = d by Jacobi iteration, x ← D⁻¹(d − (A−D)x), with the
+// whole off-diagonal matrix–vector product computed on a w-PE DBT array
+// each sweep. A must be square with a nonzero diagonal; convergence is
+// guaranteed for strictly diagonally dominant A.
+func Jacobi(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64) (matrix.Vector, *IterStats, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("solve: Jacobi needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	if len(d) != n {
+		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
+	}
+	// R = A with zero diagonal; diag holds A's diagonal.
+	r := a.Clone()
+	diag := make(matrix.Vector, n)
+	for i := 0; i < n; i++ {
+		diag[i] = a.At(i, i)
+		if diag[i] == 0 {
+			return nil, nil, fmt.Errorf("solve: zero diagonal at %d", i)
+		}
+		r.Set(i, i, 0)
+	}
+	solver := core.NewMatVecSolver(w)
+	x := matrix.NewVector(n)
+	stats := &IterStats{}
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		res, err := solver.Solve(r, x, nil, core.MatVecOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.ArraySteps += res.Stats.T
+		for i := 0; i < n; i++ {
+			x[i] = (d[i] - res.Y[i]) / diag[i]
+		}
+		stats.Sweeps = sweep
+		stats.Residual = residual(a, x, d)
+		if stats.Residual <= tol {
+			return x, stats, nil
+		}
+	}
+	return x, stats, ErrNoConvergence
+}
+
+// GaussSeidel solves A·x = d by block Gauss–Seidel sweeps with blocks of
+// width w: within a sweep, row band r uses the already-updated bands
+// r′ < r. The off-diagonal dot products of each row band run through the
+// DBT array; the diagonal update divides by A's scalar diagonal.
+func GaussSeidel(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64) (matrix.Vector, *IterStats, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("solve: GaussSeidel needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	if len(d) != n {
+		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
+	}
+	for i := 0; i < n; i++ {
+		if a.At(i, i) == 0 {
+			return nil, nil, fmt.Errorf("solve: zero diagonal at %d", i)
+		}
+	}
+	solver := core.NewMatVecSolver(w)
+	x := matrix.NewVector(n)
+	stats := &IterStats{}
+	nb := (n + w - 1) / w
+	for sweep := 1; sweep <= maxSweeps; sweep++ {
+		for rb := 0; rb < nb; rb++ {
+			lo, hi := rb*w, (rb+1)*w
+			if hi > n {
+				hi = n
+			}
+			// Row band slice of A with its diagonal block's diagonal zeroed,
+			// times the current x (mixing updated and old bands).
+			band := a.Slice(lo, hi, 0, n)
+			for i := lo; i < hi; i++ {
+				band.Set(i-lo, i, 0)
+			}
+			res, err := solver.Solve(band, x, nil, core.MatVecOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.ArraySteps += res.Stats.T
+			for i := lo; i < hi; i++ {
+				x[i] = (d[i] - res.Y[i-lo]) / a.At(i, i)
+			}
+		}
+		stats.Sweeps = sweep
+		stats.Residual = residual(a, x, d)
+		if stats.Residual <= tol {
+			return x, stats, nil
+		}
+	}
+	return x, stats, ErrNoConvergence
+}
+
+// LowerTriangularSolve solves L·y = d for lower-triangular L by block
+// forward substitution with block width w: the off-diagonal products
+// L[r, <r]·y run through the DBT array; each w×w diagonal block is solved
+// by host substitution (the report-/8/ substitution).
+func LowerTriangularSolve(l *matrix.Dense, d matrix.Vector, w int) (matrix.Vector, *IterStats, error) {
+	n := l.Rows()
+	if l.Cols() != n {
+		return nil, nil, fmt.Errorf("solve: triangular solve needs a square matrix, got %d×%d", n, l.Cols())
+	}
+	if len(d) != n {
+		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
+	}
+	for i := 0; i < n; i++ {
+		if l.At(i, i) == 0 {
+			return nil, nil, fmt.Errorf("solve: singular diagonal at %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if l.At(i, j) != 0 {
+				return nil, nil, fmt.Errorf("solve: L[%d][%d] ≠ 0: not lower triangular", i, j)
+			}
+		}
+	}
+	solver := core.NewMatVecSolver(w)
+	y := matrix.NewVector(n)
+	stats := &IterStats{}
+	nb := (n + w - 1) / w
+	for rb := 0; rb < nb; rb++ {
+		lo, hi := rb*w, (rb+1)*w
+		if hi > n {
+			hi = n
+		}
+		rhs := make(matrix.Vector, hi-lo)
+		copy(rhs, d[lo:hi])
+		if lo > 0 {
+			// s = L[lo:hi, 0:lo]·y[0:lo] on the array.
+			res, err := solver.Solve(l.Slice(lo, hi, 0, lo), y[:lo], nil, core.MatVecOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			stats.ArraySteps += res.Stats.T
+			for i := range rhs {
+				rhs[i] -= res.Y[i]
+			}
+		}
+		// Diagonal block substitution on the host.
+		for i := lo; i < hi; i++ {
+			s := rhs[i-lo]
+			for j := lo; j < i; j++ {
+				s -= l.At(i, j) * y[j]
+			}
+			y[i] = s / l.At(i, i)
+		}
+	}
+	stats.Residual = residual(l, y, d)
+	return y, stats, nil
+}
+
+// residual returns ‖A·x − d‖∞.
+func residual(a *matrix.Dense, x, d matrix.Vector) float64 {
+	y := a.MulVec(x, nil)
+	r := 0.0
+	for i := range d {
+		if v := math.Abs(y[i] - d[i]); v > r {
+			r = v
+		}
+	}
+	return r
+}

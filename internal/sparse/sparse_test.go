@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// blockSparse builds a matrix whose w×w blocks are nonzero with probability
+// density (at least guaranteeing reproducibility via rng).
+func blockSparse(rng *rand.Rand, nb, mb, w int, density float64) *matrix.Dense {
+	a := matrix.NewDense(nb*w, mb*w)
+	for r := 0; r < nb; r++ {
+		for s := 0; s < mb; s++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			for i := 0; i < w; i++ {
+				for j := 0; j < w; j++ {
+					a.Set(r*w+i, s*w+j, float64(rng.Intn(9)-4))
+				}
+			}
+		}
+	}
+	return a
+}
+
+func TestSparseCorrectAcrossDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, w := range []int{2, 3} {
+		for _, density := range []float64{0, 0.2, 0.5, 0.8, 1} {
+			a := blockSparse(rng, 4, 5, w, density)
+			x := matrix.RandomVector(rng, 5*w, 4)
+			b := matrix.RandomVector(rng, 4*w, 4)
+			tr := NewMatVec(a, w)
+			res, err := tr.Solve(x, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Y.Equal(a.MulVec(x, b), 0) {
+				t.Errorf("w=%d density=%.1f: wrong result", w, density)
+			}
+		}
+	}
+}
+
+func TestSparseStepsFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, density := range []float64{0.3, 0.6, 1} {
+		w := 3
+		a := blockSparse(rng, 5, 4, w, density)
+		x := matrix.RandomVector(rng, 4*w, 3)
+		tr := NewMatVec(a, w)
+		res, err := tr.Solve(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.T != tr.PredictedSteps() {
+			t.Errorf("density=%.1f: T=%d, predicted %d", density, res.T, tr.PredictedSteps())
+		}
+	}
+}
+
+// TestSparseBeatsDenseDBT (E10): on block-sparse inputs the sparse schedule
+// is shorter than full DBT, approaching the density ratio.
+func TestSparseBeatsDenseDBT(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	w := 4
+	a := blockSparse(rng, 6, 6, w, 0.3)
+	x := matrix.RandomVector(rng, 6*w, 3)
+	tr := NewMatVec(a, w)
+	if tr.Density() >= 0.8 {
+		t.Skip("rng produced a dense instance")
+	}
+	res, err := tr.Solve(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := core.NewMatVecSolver(w).Solve(a, x, nil, core.MatVecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T >= dense.Stats.T {
+		t.Errorf("sparse T=%d not below dense DBT T=%d (density %.2f)", res.T, dense.Stats.T, tr.Density())
+	}
+}
+
+func TestSparseEmptyMatrix(t *testing.T) {
+	w := 3
+	a := matrix.NewDense(2*w, 2*w)
+	b := matrix.RandomVector(rand.New(rand.NewSource(64)), 2*w, 4)
+	tr := NewMatVec(a, w)
+	res, err := tr.Solve(matrix.NewVector(2*w), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 0 || res.Q != 0 {
+		t.Errorf("empty matrix: T=%d Q=%d, want 0, 0", res.T, res.Q)
+	}
+	if !res.Y.Equal(b, 0) {
+		t.Error("empty matrix: y must equal b")
+	}
+}
+
+func TestSparseDensityAccounting(t *testing.T) {
+	w := 2
+	a := matrix.NewDense(2*w, 3*w)
+	// Exactly two nonzero blocks.
+	a.Set(0, 0, 1)
+	a.Set(w, 2*w, 5)
+	tr := NewMatVec(a, w)
+	if tr.TotalBlocks() != 2 {
+		t.Errorf("Q=%d, want 2", tr.TotalBlocks())
+	}
+	if got, want := tr.Density(), 2.0/6; got != want {
+		t.Errorf("density=%g, want %g", got, want)
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	tr := NewMatVec(matrix.NewDense(4, 4), 2)
+	if _, err := tr.Solve(make(matrix.Vector, 3), nil); err == nil {
+		t.Error("expected x length error")
+	}
+	if _, err := tr.Solve(make(matrix.Vector, 4), make(matrix.Vector, 1)); err == nil {
+		t.Error("expected b length error")
+	}
+}

@@ -1,0 +1,292 @@
+// Package trisolve implements the band triangular-system systolic array
+// (Kung & Leiserson's linear solver array, the third array of the family
+// the paper builds on) and, on top of it, the size-independent dense
+// triangular solver the paper's conclusions claim (§4: "Triangular systems
+// of linear and matrix equations"; details were in the authors' report /8/,
+// not publicly available — DESIGN.md §4 records this substitution).
+//
+// The array solves L·x = b for a lower triangular band matrix of bandwidth
+// w on w PEs. PE 0 divides; PEs 1..w−1 multiply–accumulate. Partial sums
+// y_i enter at PE w−1 at cycle 2i and move left one PE per cycle,
+// collecting L[i][i−d]·x_{i−d} at PE d; when y_i reaches PE 0 at cycle
+// 2i+w−1 the divider emits x_i = (b_i − y_i)/L[i][i], which immediately
+// joins the x stream moving right — the self-feeding recurrence of the
+// systolic solver. Total steps: T = 2n + w − 2; PE duty approaches ½.
+//
+// The blocked dense solver partitions an arbitrary dense lower triangular
+// system into w-wide block rows: each diagonal block is itself a lower
+// triangular band of bandwidth w and runs directly on this array, while
+// the off-diagonal (dense rectangular) work runs as DBT matrix–vector
+// passes on the multiplication array — so every arithmetic operation
+// happens inside a fixed-size systolic array.
+package trisolve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/systolic"
+)
+
+// Array is the w-PE band triangular solver.
+type Array struct {
+	W int
+}
+
+// New returns a triangular solver array with w PEs.
+func New(w int) *Array {
+	if w < 1 {
+		panic(fmt.Sprintf("trisolve: invalid array size %d", w))
+	}
+	return &Array{W: w}
+}
+
+// Result reports one band solve.
+type Result struct {
+	X matrix.Vector
+	// T is the measured step count (availability of the last x).
+	T int
+	// Activity counts MACs on PEs 1..w−1 and divisions on PE 0.
+	Activity *systolic.Activity
+	// Divisions is the division count of PE 0 (= n).
+	Divisions int
+}
+
+type triItem struct {
+	live bool
+	idx  int
+	val  float64
+}
+
+// SolveBand solves L·x = b for a lower triangular band matrix (diagonals
+// −(w−1)..0, nonzero diagonal) cycle-accurately. It panics if L is not
+// square, not of bandwidth ≤ w, or has a zero diagonal entry.
+func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
+	w := ar.W
+	n := l.Rows()
+	if l.Cols() != n {
+		panic(fmt.Sprintf("trisolve: matrix is %d×%d, want square", n, l.Cols()))
+	}
+	if l.Hi() > 0 || l.Lo() < -(w-1) {
+		panic(fmt.Sprintf("trisolve: band [%d,%d] does not fit a lower band of width %d", l.Lo(), l.Hi(), w))
+	}
+	if len(b) != n {
+		panic(fmt.Sprintf("trisolve: len(b)=%d, want %d", len(b), n))
+	}
+	res := &Result{
+		X:        make(matrix.Vector, n),
+		Activity: systolic.NewActivity(w),
+	}
+	if n == 0 {
+		return res
+	}
+
+	xregs := make([]triItem, w) // x moves right: PE k → k+1
+	yregs := make([]triItem, w) // y moves left: PE k → k−1
+	maxT := 2*(n-1) + w - 1
+	for t := 0; t <= maxT; t++ {
+		// Inject y_i (initial 0) at PE w−1 at cycle 2i. With w = 1 the
+		// injection and division happen at the same PE in the same cycle.
+		if t%2 == 0 {
+			if i := t / 2; i < n {
+				if yregs[w-1].live {
+					panic(fmt.Sprintf("trisolve: y collision at cycle %d", t))
+				}
+				yregs[w-1] = triItem{live: true, idx: i}
+			}
+		}
+
+		// PEs w−1..1: MAC with the coefficient of diagonal d = PE index.
+		for k := 1; k < w; k++ {
+			if !yregs[k].live || !xregs[k].live {
+				continue
+			}
+			i := yregs[k].idx
+			j := xregs[k].idx
+			if i-j != k {
+				panic(fmt.Sprintf("trisolve: misaligned meeting at PE %d cycle %d: y%d x%d", k, t, i, j))
+			}
+			yregs[k].val += l.At(i, j) * xregs[k].val
+			res.Activity.MACs[k]++
+		}
+		// PE 0: division. x_i = (b_i − y_i)/L[i][i], emitted into the x
+		// stream and recorded as output.
+		var emitted triItem
+		if yregs[0].live {
+			i := yregs[0].idx
+			d := l.At(i, i)
+			if d == 0 {
+				panic(fmt.Sprintf("trisolve: zero diagonal at row %d", i))
+			}
+			x := (b[i] - yregs[0].val) / d
+			res.X[i] = x
+			res.Divisions++
+			res.Activity.MACs[0]++ // count the division as PE 0 work
+			emitted = triItem{live: true, idx: i, val: x}
+		}
+
+		// Shift: y left, x right; the divider output enters the x stream.
+		for k := 0; k+1 < w; k++ {
+			yregs[k] = yregs[k+1]
+		}
+		yregs[w-1] = triItem{}
+		for k := w - 1; k >= 1; k-- {
+			xregs[k] = xregs[k-1]
+		}
+		xregs[0] = triItem{}
+		if emitted.live {
+			if w == 1 {
+				// Degenerate array: pure sequential division, no x stream.
+				continue
+			}
+			xregs[1] = emitted
+		}
+	}
+	res.T = maxT + 1
+	res.Activity.Cycles = res.T
+	return res
+}
+
+// StepsBand returns the closed-form step count 2n + w − 2 of a band solve.
+func StepsBand(n, w int) int { return 2*n + w - 2 }
+
+// Solver is the size-independent dense triangular solver: diagonal blocks
+// on the triangular array, off-diagonal work as DBT matrix–vector passes.
+type Solver struct {
+	w   int
+	tri *Array
+	mv  *core.MatVecSolver
+}
+
+// NewSolver returns a dense solver for array size w.
+func NewSolver(w int) *Solver {
+	return &Solver{w: w, tri: New(w), mv: core.NewMatVecSolver(w)}
+}
+
+// DenseResult reports a blocked dense solve.
+type DenseResult struct {
+	X matrix.Vector
+	// TriSteps and MatVecSteps split the measured array steps by array.
+	TriSteps, MatVecSteps int
+	// TriPasses and MatVecPasses count array invocations.
+	TriPasses, MatVecPasses int
+}
+
+// SolveLower solves L·x = b for a dense lower triangular matrix of any
+// size with every arithmetic operation inside a fixed-size array.
+func (s *Solver) SolveLower(l *matrix.Dense, b matrix.Vector) (*DenseResult, error) {
+	n := l.Rows()
+	if l.Cols() != n {
+		return nil, fmt.Errorf("trisolve: matrix is %d×%d, want square", n, l.Cols())
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("trisolve: len(b)=%d, want %d", len(b), n)
+	}
+	for i := 0; i < n; i++ {
+		if l.At(i, i) == 0 {
+			return nil, fmt.Errorf("trisolve: singular diagonal at %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if l.At(i, j) != 0 {
+				return nil, fmt.Errorf("trisolve: L[%d][%d] ≠ 0: not lower triangular", i, j)
+			}
+		}
+	}
+	w := s.w
+	res := &DenseResult{X: make(matrix.Vector, n)}
+	nb := (n + w - 1) / w
+	for rb := 0; rb < nb; rb++ {
+		lo, hi := rb*w, (rb+1)*w
+		if hi > n {
+			hi = n
+		}
+		rhs := make(matrix.Vector, hi-lo)
+		copy(rhs, b[lo:hi])
+		if lo > 0 {
+			// Off-diagonal contributions on the multiplication array.
+			mv, err := s.mv.Solve(l.Slice(lo, hi, 0, lo), res.X[:lo], nil, core.MatVecOptions{})
+			if err != nil {
+				return nil, err
+			}
+			res.MatVecSteps += mv.Stats.T
+			res.MatVecPasses++
+			for i := range rhs {
+				rhs[i] -= mv.Y[i]
+			}
+		}
+		// Diagonal block on the triangular array. A dense w×w lower
+		// triangle is exactly a lower band of bandwidth w in local indices.
+		blk := matrix.NewBand(hi-lo, hi-lo, -(w - 1), 0)
+		for i := lo; i < hi; i++ {
+			for j := lo; j <= i; j++ {
+				if v := l.At(i, j); v != 0 || i == j {
+					blk.Set(i-lo, j-lo, v)
+				}
+			}
+		}
+		tr := s.tri.SolveBand(blk, rhs)
+		res.TriSteps += tr.T
+		res.TriPasses++
+		copy(res.X[lo:hi], tr.X)
+	}
+	return res, nil
+}
+
+// SolveUpper solves U·x = b for a dense upper triangular matrix by
+// mirroring it onto the lower solver.
+func (s *Solver) SolveUpper(u *matrix.Dense, b matrix.Vector) (*DenseResult, error) {
+	n := u.Rows()
+	if u.Cols() != n {
+		return nil, fmt.Errorf("trisolve: matrix is %d×%d, want square", n, u.Cols())
+	}
+	m := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, u.At(n-1-i, n-1-j))
+		}
+	}
+	rb := make(matrix.Vector, n)
+	for i := range rb {
+		rb[i] = b[n-1-i]
+	}
+	res, err := s.SolveLower(m, rb)
+	if err != nil {
+		return nil, err
+	}
+	out := make(matrix.Vector, n)
+	for i := range out {
+		out[i] = res.X[n-1-i]
+	}
+	res.X = out
+	return res, nil
+}
+
+// SolveMatrixLower solves L·X = B for a dense lower triangular L and a
+// dense right-hand-side matrix B (the "triangular systems of matrix
+// equations" of §4), one column per solve.
+func (s *Solver) SolveMatrixLower(l *matrix.Dense, b *matrix.Dense) (*matrix.Dense, *DenseResult, error) {
+	if l.Rows() != b.Rows() {
+		return nil, nil, fmt.Errorf("trisolve: L is %d×%d but B has %d rows", l.Rows(), l.Cols(), b.Rows())
+	}
+	x := matrix.NewDense(b.Rows(), b.Cols())
+	total := &DenseResult{}
+	for c := 0; c < b.Cols(); c++ {
+		col := make(matrix.Vector, b.Rows())
+		for i := range col {
+			col[i] = b.At(i, c)
+		}
+		res, err := s.SolveLower(l, col)
+		if err != nil {
+			return nil, nil, err
+		}
+		total.TriSteps += res.TriSteps
+		total.MatVecSteps += res.MatVecSteps
+		total.TriPasses += res.TriPasses
+		total.MatVecPasses += res.MatVecPasses
+		for i, v := range res.X {
+			x.Set(i, c, v)
+		}
+	}
+	return x, total, nil
+}

@@ -1,0 +1,201 @@
+package trisolve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// randLowerBand builds a nonsingular lower triangular band matrix.
+func randLowerBand(rng *rand.Rand, n, w int) *matrix.Band {
+	l := matrix.NewBand(n, n, -(w - 1), 0)
+	for i := 0; i < n; i++ {
+		for d := 1; d < w; d++ {
+			if j := i - d; j >= 0 {
+				l.Set(i, j, float64(rng.Intn(5)-2))
+			}
+		}
+		l.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	return l
+}
+
+func TestSolveBandExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, w := range []int{1, 2, 3, 5} {
+		for _, n := range []int{1, 2, w, 3 * w, 17} {
+			l := randLowerBand(rng, n, w)
+			want := matrix.RandomVector(rng, n, 3)
+			b := l.MulVec(want, nil)
+			res := New(w).SolveBand(l, b)
+			if !res.X.Equal(want, 1e-9) {
+				t.Errorf("w=%d n=%d: wrong solution (off %g)", w, n, res.X.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestSolveBandStepCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, w := range []int{1, 2, 4} {
+		for _, n := range []int{1, 7, 3 * w} {
+			l := randLowerBand(rng, n, w)
+			res := New(w).SolveBand(l, matrix.NewVector(n))
+			if got, want := res.T, StepsBand(n, w); got != want {
+				t.Errorf("w=%d n=%d: T=%d, want %d", w, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveBandDivisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	w, n := 3, 12
+	l := randLowerBand(rng, n, w)
+	res := New(w).SolveBand(l, matrix.NewVector(n))
+	if res.Divisions != n {
+		t.Errorf("divisions=%d, want %d", res.Divisions, n)
+	}
+	// MAC PEs: PE d executes one MAC per row i ≥ d.
+	for d := 1; d < w; d++ {
+		if got, want := res.Activity.MACs[d], n-d; got != want {
+			t.Errorf("PE %d: %d MACs, want %d", d, got, want)
+		}
+	}
+}
+
+func TestSolveBandValidation(t *testing.T) {
+	ar := New(2)
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { ar.SolveBand(matrix.NewBand(2, 3, -1, 0), make(matrix.Vector, 2)) },
+		func() { ar.SolveBand(matrix.NewBand(2, 2, -1, 1), make(matrix.Vector, 2)) },
+		func() { ar.SolveBand(matrix.NewBand(2, 2, -1, 0), make(matrix.Vector, 1)) },
+		func() { // zero diagonal
+			l := matrix.NewBand(2, 2, -1, 0)
+			l.Set(1, 0, 1)
+			ar.SolveBand(l, make(matrix.Vector, 2))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSolveLowerDense: the blocked size-independent solver is exact for
+// arbitrary sizes on a fixed array.
+func TestSolveLowerDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, w := range []int{2, 3, 4} {
+		s := NewSolver(w)
+		for _, n := range []int{1, w, 2*w + 1, 4 * w} {
+			l := matrix.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					l.Set(i, j, float64(rng.Intn(5)-2))
+				}
+				l.Set(i, i, float64(1+rng.Intn(3)))
+			}
+			want := matrix.RandomVector(rng, n, 3)
+			b := l.MulVec(want, nil)
+			res, err := s.SolveLower(l, b)
+			if err != nil {
+				t.Fatalf("w=%d n=%d: %v", w, n, err)
+			}
+			if !res.X.Equal(want, 1e-9) {
+				t.Errorf("w=%d n=%d: wrong solution (off %g)", w, n, res.X.MaxAbsDiff(want))
+			}
+			if res.TriPasses != (n+w-1)/w {
+				t.Errorf("w=%d n=%d: %d triangular passes", w, n, res.TriPasses)
+			}
+			if n > w && res.MatVecPasses == 0 {
+				t.Errorf("w=%d n=%d: off-diagonal work skipped the matvec array", w, n)
+			}
+		}
+	}
+}
+
+func TestSolveUpperDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	w, n := 3, 10
+	u := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u.Set(i, j, float64(rng.Intn(5)-2))
+		}
+		u.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	want := matrix.RandomVector(rng, n, 3)
+	b := u.MulVec(want, nil)
+	res, err := NewSolver(w).SolveUpper(u, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.X.Equal(want, 1e-9) {
+		t.Errorf("wrong solution (off %g)", res.X.MaxAbsDiff(want))
+	}
+}
+
+// TestSolveMatrixLower: L·X = B with a matrix right-hand side (§4's
+// "triangular systems of matrix equations").
+func TestSolveMatrixLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	w, n, m := 3, 8, 5
+	l := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, float64(rng.Intn(5)-2))
+		}
+		l.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	want := matrix.RandomDense(rng, n, m, 3)
+	b := l.Mul(want)
+	x, stats, err := NewSolver(w).SolveMatrixLower(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(want, 1e-9) {
+		t.Errorf("wrong solution (off %g)", x.MaxAbsDiff(want))
+	}
+	if stats.TriPasses != m*((n+w-1)/w) {
+		t.Errorf("tri passes %d", stats.TriPasses)
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	s := NewSolver(2)
+	if _, err := s.SolveLower(matrix.NewDense(2, 3), make(matrix.Vector, 2)); err == nil {
+		t.Error("expected non-square error")
+	}
+	if _, err := s.SolveLower(matrix.NewDense(2, 2), make(matrix.Vector, 2)); err == nil {
+		t.Error("expected singular error")
+	}
+	notL := matrix.FromRows([][]float64{{1, 1}, {0, 1}})
+	if _, err := s.SolveLower(notL, make(matrix.Vector, 2)); err == nil {
+		t.Error("expected not-lower error")
+	}
+	if _, err := s.SolveLower(identity(2), make(matrix.Vector, 3)); err == nil {
+		t.Error("expected rhs length error")
+	}
+	if _, err := s.SolveUpper(matrix.NewDense(2, 3), make(matrix.Vector, 2)); err == nil {
+		t.Error("expected non-square error")
+	}
+	if _, _, err := s.SolveMatrixLower(identity(2), matrix.NewDense(3, 2)); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func identity(n int) *matrix.Dense {
+	id := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	return id
+}

@@ -1,0 +1,16 @@
+// Package repro reproduces Navarro, Llabería & Valero, "Computing
+// Size-Independent Matrix Problems on Systolic Array Processors"
+// (ISCA 1986): the DBT dense-to-band transformations that let fixed-size
+// contraflow systolic arrays (Kung's linear matrix–vector array and
+// hexagonal matrix–matrix array) compute dense problems of any size at
+// maximum efficiency, with all partial results fed back inside the array.
+//
+// The library lives under internal/: matrix and blockpart are the algebra
+// substrate, dbt holds the transformations, linear and hex are
+// cycle-accurate structural array simulators, analysis the paper's closed
+// forms, baseline/sparse/solve the comparison points and §4 extensions,
+// and core the public solver facade. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results; the
+// benchmarks in bench_test.go regenerate every experiment's headline
+// metrics.
+package repro
