@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/figures"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 	"repro/internal/solve"
 	"repro/internal/sparse"
 	"repro/internal/trisolve"
@@ -23,9 +25,11 @@ import (
 // BenchmarkE1MatVec regenerates the matvec step-count series
 // T = 2wn̄m̄+2w−3 (E1) and the η → ½ utilization series (E3).
 func BenchmarkE1MatVec(b *testing.B) {
+	b.ReportAllocs()
 	for _, w := range []int{2, 4, 8} {
 		for _, nm := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("w=%d/nm=%d", w, nm), func(b *testing.B) {
+				b.ReportAllocs()
 				rng := rand.New(rand.NewSource(1))
 				a := matrix.RandomDense(rng, nm*w, w, 3)
 				x := matrix.RandomVector(rng, w, 3)
@@ -51,9 +55,11 @@ func BenchmarkE1MatVec(b *testing.B) {
 // BenchmarkE2MatVecOverlap regenerates the overlapped series
 // T = wn̄m̄+2w−2 (E2) and η → 1 (E4).
 func BenchmarkE2MatVecOverlap(b *testing.B) {
+	b.ReportAllocs()
 	for _, w := range []int{3, 5} {
 		for _, nm := range []int{4, 16} {
 			b.Run(fmt.Sprintf("w=%d/nm=%d", w, nm), func(b *testing.B) {
+				b.ReportAllocs()
 				rng := rand.New(rand.NewSource(2))
 				a := matrix.RandomDense(rng, nm*w, w, 3)
 				x := matrix.RandomVector(rng, w, 3)
@@ -79,10 +85,12 @@ func BenchmarkE2MatVecOverlap(b *testing.B) {
 // BenchmarkE5MatMul regenerates the matmul step-count series
 // T = 3wp̄n̄m̄+4w−5 (E5) and η → ⅓ (E6) on the hexagonal array.
 func BenchmarkE5MatMul(b *testing.B) {
+	b.ReportAllocs()
 	for _, w := range []int{2, 3, 4} {
 		for _, pnm := range [][3]int{{1, 1, 1}, {2, 2, 2}} {
 			nb, pb, mb := pnm[0], pnm[1], pnm[2]
 			b.Run(fmt.Sprintf("w=%d/pnm=%d", w, nb*pb*mb), func(b *testing.B) {
+				b.ReportAllocs()
 				rng := rand.New(rand.NewSource(3))
 				am := matrix.RandomDense(rng, nb*w, pb*w, 2)
 				bm := matrix.RandomDense(rng, pb*w, mb*w, 2)
@@ -108,6 +116,7 @@ func BenchmarkE5MatMul(b *testing.B) {
 // BenchmarkE7FeedbackDelays measures the feedback edges of a matmul run
 // (regular w and 2w; irregular region-crossing) — experiment E7/E8.
 func BenchmarkE7FeedbackDelays(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(4))
 	w := 3
 	am := matrix.RandomDense(rng, 2*w, 2*w, 2)
@@ -140,11 +149,13 @@ func BenchmarkE7FeedbackDelays(b *testing.B) {
 // BenchmarkE9Baselines runs the three comparison schemes on the same
 // problem — experiment E9.
 func BenchmarkE9Baselines(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	w, n, m := 4, 16, 16
 	a := matrix.RandomDense(rng, n, m, 3)
 	x := matrix.RandomVector(rng, m, 3)
 	b.Run("dbt", func(b *testing.B) {
+		b.ReportAllocs()
 		s := core.NewMatVecSolver(w)
 		var last *core.MatVecResult
 		for i := 0; i < b.N; i++ {
@@ -158,6 +169,7 @@ func BenchmarkE9Baselines(b *testing.B) {
 		b.ReportMetric(last.Stats.Utilization, "utilization")
 	})
 	b.Run("blockflush", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *baseline.Result
 		for i := 0; i < b.N; i++ {
 			last = baseline.BlockFlush(a, x, nil, w)
@@ -167,6 +179,7 @@ func BenchmarkE9Baselines(b *testing.B) {
 		b.ReportMetric(float64(last.ExternalOps), "external-ops")
 	})
 	b.Run("directband", func(b *testing.B) {
+		b.ReportAllocs()
 		var last *baseline.Result
 		for i := 0; i < b.N; i++ {
 			last = baseline.DirectBand(a, x, nil)
@@ -179,8 +192,10 @@ func BenchmarkE9Baselines(b *testing.B) {
 
 // BenchmarkE10Sparse regenerates the sparsity ablation at three densities.
 func BenchmarkE10Sparse(b *testing.B) {
+	b.ReportAllocs()
 	for _, density := range []float64{0.25, 0.5, 1.0} {
 		b.Run(fmt.Sprintf("density=%.2f", density), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(6))
 			w, nb, mb := 4, 6, 6
 			a := matrix.NewDense(nb*w, mb*w)
@@ -213,6 +228,7 @@ func BenchmarkE10Sparse(b *testing.B) {
 
 // BenchmarkF3Trace regenerates the Fig. 3 data-flow example (39 steps).
 func BenchmarkF3Trace(b *testing.B) {
+	b.ReportAllocs()
 	var last *figures.Fig3Streams
 	for i := 0; i < b.N; i++ {
 		st, err := figures.Fig3Data(6, 9, 3)
@@ -231,8 +247,10 @@ func BenchmarkF3Trace(b *testing.B) {
 // themselves (no simulation) — the paper's "low generation difficulties"
 // requirement (§1a).
 func BenchmarkTransform(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(7))
 	b.Run("matvec-band/n=64/w=8", func(b *testing.B) {
+		b.ReportAllocs()
 		a := matrix.RandomDense(rng, 64, 64, 3)
 		for i := 0; i < b.N; i++ {
 			t := dbt.NewMatVec(a, 8)
@@ -242,6 +260,7 @@ func BenchmarkTransform(b *testing.B) {
 		}
 	})
 	b.Run("matmul-bands/n=16/w=4", func(b *testing.B) {
+		b.ReportAllocs()
 		am := matrix.RandomDense(rng, 16, 16, 3)
 		bm := matrix.RandomDense(rng, 16, 16, 3)
 		for i := 0; i < b.N; i++ {
@@ -255,6 +274,7 @@ func BenchmarkTransform(b *testing.B) {
 
 // BenchmarkSolvers exercises the §4 extension solvers end to end.
 func BenchmarkSolvers(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(8))
 	n := 12
 	a := matrix.RandomDense(rng, n, n, 2)
@@ -263,6 +283,7 @@ func BenchmarkSolvers(b *testing.B) {
 	}
 	d := matrix.RandomVector(rng, n, 5)
 	b.Run("jacobi", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := solve.Jacobi(a, d, 4, 200, 1e-8); err != nil {
 				b.Fatal(err)
@@ -270,6 +291,7 @@ func BenchmarkSolvers(b *testing.B) {
 		}
 	})
 	b.Run("gauss-seidel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := solve.GaussSeidel(a, d, 4, 200, 1e-8); err != nil {
 				b.Fatal(err)
@@ -281,6 +303,7 @@ func BenchmarkSolvers(b *testing.B) {
 // BenchmarkE11Variants regenerates the §4 variant comparison: by-columns
 // feedback delay (2n̄−1)w vs by-rows w, at identical T.
 func BenchmarkE11Variants(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(10))
 	w, nb, mb := 3, 4, 3
 	a := matrix.RandomDense(rng, nb*w, mb*w, 3)
@@ -295,6 +318,7 @@ func BenchmarkE11Variants(b *testing.B) {
 		{"lowerband", core.MatVecOptions{LowerBand: true}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var last *core.MatVecResult
 			for i := 0; i < b.N; i++ {
 				res, err := s.Solve(a, x, nil, mode.opts)
@@ -314,6 +338,7 @@ func BenchmarkE11Variants(b *testing.B) {
 // BenchmarkMatMulOverlap3 measures the 3-way hexagonal overlap (extension):
 // three problems in barely more time than one.
 func BenchmarkMatMulOverlap3(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(11))
 	w := 3
 	s := core.NewMatMulSolver(w)
@@ -337,6 +362,7 @@ func BenchmarkMatMulOverlap3(b *testing.B) {
 // BenchmarkTriSolve measures the dedicated triangular-solver array (band
 // pass, 2n+w−2 steps) and the blocked dense solver built on it.
 func BenchmarkTriSolve(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(12))
 	w, n := 4, 32
 	l := matrix.NewDense(n, n)
@@ -363,6 +389,7 @@ func BenchmarkTriSolve(b *testing.B) {
 // BenchmarkBlockLU measures the LU factorization with array trailing
 // updates (§4 extension).
 func BenchmarkBlockLU(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(13))
 	w, n := 4, 24
 	a := matrix.RandomDense(rng, n, n, 2)
@@ -384,8 +411,10 @@ func BenchmarkBlockLU(b *testing.B) {
 // BenchmarkHexScale measures simulator cost growth with problem size (the
 // simulation substrate itself, not a paper claim).
 func BenchmarkHexScale(b *testing.B) {
+	b.ReportAllocs()
 	for _, pnm := range []int{1, 8, 27} {
 		b.Run(fmt.Sprintf("pnm=%d", pnm), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(9))
 			w := 3
 			side := 1
@@ -400,6 +429,118 @@ func BenchmarkHexScale(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkEngines compares the two execution engines on the headline
+// shapes: the cycle-accurate structural oracle vs the compiled-schedule
+// fast path (O(MACs), shape-cached).
+func BenchmarkEngines(b *testing.B) {
+	b.ReportAllocs()
+	rngv := rand.New(rand.NewSource(20))
+	w, nm := 8, 16
+	av := matrix.RandomDense(rngv, nm*w, w, 3)
+	xv := matrix.RandomVector(rngv, w, 3)
+	hw := 3
+	am := matrix.RandomDense(rngv, 3*hw, 3*hw, 2)
+	bm := matrix.RandomDense(rngv, 3*hw, 3*hw, 2)
+	for _, eng := range []struct {
+		name string
+		e    core.Engine
+	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
+		b.Run("matvec/w=8/nm=16/"+eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := core.NewMatVecSolver(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(av, xv, nil, core.MatVecOptions{Engine: eng.e}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("matmul/w=3/pnm=27/"+eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := core.NewMatMulSolver(hw)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(am, bm, core.MatMulOptions{Engine: eng.e}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompiledExec measures the steady-state compiled-schedule
+// execution alone — schedule cached, bands packed, buffers reused — which
+// must run at 0 allocs/op.
+func BenchmarkCompiledExec(b *testing.B) {
+	b.Run("matvec/w=8/nm=16", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(21))
+		w, nm := 8, 16
+		a := matrix.RandomDense(rng, nm*w, w, 3)
+		x := matrix.RandomVector(rng, w, 3)
+		t := dbt.NewMatVec(a, w)
+		sch, err := schedule.MatVecFor(t, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		band := make([]float64, sch.Rows*w)
+		t.PackBand(band)
+		xbar := t.TransformX(x)
+		bp := matrix.NewVector(sch.BLen)
+		y := make([]float64, sch.Rows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sch.Exec(band, xbar, bp, y)
+		}
+		b.ReportMetric(float64(sch.MACs), "MACs")
+	})
+	b.Run("matmul/w=3/pnm=27", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(22))
+		w := 3
+		am := matrix.RandomDense(rng, 3*w, 3*w, 2)
+		bm := matrix.RandomDense(rng, 3*w, 3*w, 2)
+		t := dbt.NewMatMul(am, bm, w)
+		sch := schedule.MatMulFor(t)
+		aPack := make([]float64, sch.Dim*w)
+		bPack := make([]float64, sch.Dim*w)
+		t.PackAHat(aPack)
+		t.PackBHat(bPack)
+		ext := make([]float64, len(sch.ExtInits))
+		o := make([]float64, sch.OLen())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sch.Exec(aPack, bPack, ext, o)
+		}
+		b.ReportMetric(float64(sch.MACs), "MACs")
+	})
+}
+
+// BenchmarkSolveBatch measures multi-problem throughput across worker
+// counts: near-linear scaling up to GOMAXPROCS is the acceptance bar for
+// the batch API.
+func BenchmarkSolveBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	w, nm := 8, 16
+	var problems []core.MatVecProblem
+	for i := 0; i < 256; i++ {
+		problems = append(problems, core.MatVecProblem{
+			A: matrix.RandomDense(rng, nm*w, w, 3),
+			X: matrix.RandomVector(rng, w, 3),
+		})
+	}
+	s := core.NewMatVecSolver(w)
+	for _, workers := range core.WorkerLadder(runtime.GOMAXPROCS(0)) {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SolveBatchWorkers(problems, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(problems)*b.N)/b.Elapsed().Seconds(), "problems/s")
 		})
 	}
 }

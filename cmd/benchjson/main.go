@@ -1,0 +1,203 @@
+// Command benchjson records a machine-readable perf snapshot of the
+// headline benchmarks: ns/op, allocs/op, B/op and the paper-comparable
+// metrics (steps, MACs, problems/s) for the two execution engines, the
+// steady-state compiled execution, and the batch throughput API. It emits
+// BENCH_<date>.json by default, seeding the perf trajectory that future
+// changes are judged against.
+//
+// Usage:
+//
+//	benchjson                 # writes BENCH_<yyyy-mm-dd>.json
+//	benchjson -o snapshot.json
+//	benchjson -o -            # stdout only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// Entry is one benchmark's snapshot.
+type Entry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the whole file.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func bench(name string, metrics map[string]float64, fn func(b *testing.B)) Entry {
+	res := testing.Benchmark(fn)
+	e := Entry{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Metrics:     map[string]float64{},
+	}
+	for k, v := range res.Extra {
+		e.Metrics[k] = v
+	}
+	for k, v := range metrics {
+		e.Metrics[k] = v
+	}
+	if len(e.Metrics) == 0 {
+		e.Metrics = nil
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("o", "", "output path; empty = BENCH_<date>.json, \"-\" = stdout only")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(1))
+	// Headline shapes: matvec w=8 n̄m̄=16, matmul w=3 p̄n̄m̄=27.
+	av := matrix.RandomDense(rng, 16*8, 8, 3)
+	xv := matrix.RandomVector(rng, 8, 3)
+	am := matrix.RandomDense(rng, 9, 9, 2)
+	bm := matrix.RandomDense(rng, 9, 9, 2)
+	vs := core.NewMatVecSolver(8)
+	ms := core.NewMatMulSolver(3)
+
+	var entries []Entry
+	for _, eng := range []struct {
+		name string
+		e    core.Engine
+	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
+		eng := eng
+		entries = append(entries,
+			bench("matvec/w=8/nm=16/"+eng.name, nil, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := vs.Solve(av, xv, nil, core.MatVecOptions{Engine: eng.e})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.Stats.T), "steps")
+					}
+				}
+			}),
+			bench("matmul/w=3/pnm=27/"+eng.name, nil, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := ms.Solve(am, bm, core.MatMulOptions{Engine: eng.e})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.Stats.T), "steps")
+					}
+				}
+			}),
+		)
+	}
+
+	// Steady-state compiled execution (schedule cached, buffers reused):
+	// the 0 allocs/op core of the engine.
+	tv := dbt.NewMatVec(av, 8)
+	schv, err := schedule.MatVecFor(tv, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	band := make([]float64, schv.Rows*8)
+	tv.PackBand(band)
+	xbar := tv.TransformX(xv)
+	bp := matrix.NewVector(schv.BLen)
+	ybuf := make([]float64, schv.Rows)
+	entries = append(entries, bench("compiled-exec/matvec/w=8/nm=16",
+		map[string]float64{"MACs": float64(schv.MACs)}, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				schv.Exec(band, xbar, bp, ybuf)
+			}
+		}))
+	tm := dbt.NewMatMul(am, bm, 3)
+	schm := schedule.MatMulFor(tm)
+	aPack := make([]float64, schm.Dim*3)
+	bPack := make([]float64, schm.Dim*3)
+	tm.PackAHat(aPack)
+	tm.PackBHat(bPack)
+	ext := make([]float64, len(schm.ExtInits))
+	oband := make([]float64, schm.OLen())
+	entries = append(entries, bench("compiled-exec/matmul/w=3/pnm=27",
+		map[string]float64{"MACs": float64(schm.MACs)}, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				schm.Exec(aPack, bPack, ext, oband)
+			}
+		}))
+
+	// Batch throughput at full GOMAXPROCS.
+	problems := make([]core.MatVecProblem, 128)
+	for i := range problems {
+		problems[i] = core.MatVecProblem{
+			A: matrix.RandomDense(rng, 16*8, 8, 3),
+			X: matrix.RandomVector(rng, 8, 3),
+		}
+	}
+	entries = append(entries, bench(fmt.Sprintf("solve-batch/workers=%d", runtime.GOMAXPROCS(0)),
+		nil, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := vs.SolveBatch(problems); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(problems)*b.N)/b.Elapsed().Seconds(), "problems/s")
+		}))
+
+	snap := Snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: entries,
+	}
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	if path == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(entries))
+	for _, e := range entries {
+		fmt.Printf("  %-36s %12.0f ns/op %6d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+}

@@ -1,10 +1,14 @@
 // Command soak is a randomized differential tester: it drives every
 // public code path (matvec by-rows / by-columns / lower-band / overlapped /
 // sparse / multi-problem, matmul with and without E / 3-way overlapped,
-// iterative and direct solvers) on random shapes and compares each result
-// bit-for-bit against host reference arithmetic, while also checking every
-// measured step count against the paper's formulas. Exits non-zero on the
-// first mismatch.
+// iterative and direct solvers, batched solves) on random shapes and
+// compares each result bit-for-bit against host reference arithmetic,
+// while also checking every measured step count against the paper's
+// formulas. Every matvec/matmul case runs through BOTH execution engines —
+// the cycle-accurate structural oracle and the compiled-schedule fast path
+// — and their results and stats are compared bit-for-bit; the batch
+// category additionally fans problems across the worker pool and checks it
+// against serial solves. Exits non-zero on the first mismatch.
 //
 // Usage:
 //
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -38,6 +43,7 @@ func main() {
 	run("matmul", *n, func() { matmulCase(rng, *maxw) })
 	run("sparse", *n/2, func() { sparseCase(rng, *maxw) })
 	run("solvers", *n/5, func() { solverCase(rng, *maxw) })
+	run("batch", *n/10, func() { batchCase(rng, *maxw) })
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "soak: %d failures\n", failures)
@@ -83,6 +89,22 @@ func matvecCase(rng *rand.Rand, maxw int) {
 	}
 	if !res.Y.Equal(want, 0) {
 		fail("matvec wrong (w=%d n=%d m=%d %+v): off %g", w, n, m, opts, res.Y.MaxAbsDiff(want))
+	}
+	// Cross-engine: the structural oracle must agree bit-for-bit, result
+	// and stats alike.
+	oracleOpts := opts
+	oracleOpts.Engine = core.EngineOracle
+	ores, err := s.Solve(a, x, b, oracleOpts)
+	if err != nil {
+		fail("matvec oracle solve (w=%d n=%d m=%d %+v): %v", w, n, m, opts, err)
+		return
+	}
+	if !res.Y.Equal(ores.Y, 0) {
+		fail("matvec engines disagree on Y (w=%d n=%d m=%d %+v)", w, n, m, opts)
+	}
+	if !reflect.DeepEqual(res.Stats, ores.Stats) {
+		fail("matvec engines disagree on stats (w=%d n=%d m=%d %+v):\ncompiled %+v\noracle   %+v",
+			w, n, m, opts, res.Stats, ores.Stats)
 	}
 	if !opts.Overlap && res.Stats.T != res.Stats.PredictedT {
 		fail("matvec T=%d vs paper %d (w=%d n=%d m=%d %+v)", res.Stats.T, res.Stats.PredictedT, w, n, m, opts)
@@ -141,6 +163,71 @@ func matmulCase(rng *rand.Rand, maxw int) {
 	if res.Stats.T != res.Stats.PredictedT {
 		fail("matmul T=%d vs paper %d (w=%d)", res.Stats.T, res.Stats.PredictedT, w)
 	}
+	ores, err := s.Solve(a, b, core.MatMulOptions{E: e, Engine: core.EngineOracle})
+	if err != nil {
+		fail("matmul oracle solve (w=%d): %v", w, err)
+		return
+	}
+	if !res.C.Equal(ores.C, 0) {
+		fail("matmul engines disagree on C (w=%d n=%d p=%d m=%d)", w, n, p, m)
+	}
+	if !reflect.DeepEqual(res.Stats, ores.Stats) {
+		fail("matmul engines disagree on stats (w=%d n=%d p=%d m=%d):\ncompiled %+v\noracle   %+v",
+			w, n, p, m, res.Stats, ores.Stats)
+	}
+}
+
+// batchCase fans a pile of random problems across the worker pool and
+// checks every result against a serial solve of the same problem.
+func batchCase(rng *rand.Rand, maxw int) {
+	w := 1 + rng.Intn(maxw)
+	s := core.NewMatVecSolver(w)
+	count := 4 + rng.Intn(12)
+	problems := make([]core.MatVecProblem, count)
+	for i := range problems {
+		n := 1 + rng.Intn(4*w)
+		m := 1 + rng.Intn(4*w)
+		problems[i] = core.MatVecProblem{
+			A: matrix.RandomDense(rng, n, m, 5),
+			X: matrix.RandomVector(rng, m, 5),
+			B: matrix.RandomVector(rng, n, 5),
+		}
+	}
+	results, err := s.SolveBatch(problems)
+	if err != nil {
+		fail("batch solve (w=%d count=%d): %v", w, count, err)
+		return
+	}
+	for i, p := range problems {
+		serial, err := s.Solve(p.A, p.X, p.B, p.Opts)
+		if err != nil {
+			fail("batch serial check %d: %v", i, err)
+			return
+		}
+		if !results[i].Y.Equal(serial.Y, 0) {
+			fail("batch problem %d differs from serial (w=%d)", i, w)
+		}
+	}
+	ms := core.NewMatMulSolver(w)
+	mcount := 2 + rng.Intn(4)
+	mm := make([]core.MatMulProblem, mcount)
+	for i := range mm {
+		n, p, m := 1+rng.Intn(2*w), 1+rng.Intn(2*w), 1+rng.Intn(2*w)
+		mm[i] = core.MatMulProblem{
+			A: matrix.RandomDense(rng, n, p, 4),
+			B: matrix.RandomDense(rng, p, m, 4),
+		}
+	}
+	mres, err := ms.SolveBatch(mm)
+	if err != nil {
+		fail("matmul batch solve (w=%d): %v", w, err)
+		return
+	}
+	for i, p := range mm {
+		if !mres[i].C.Equal(p.A.Mul(p.B), 0) {
+			fail("matmul batch problem %d wrong (w=%d)", i, w)
+		}
+	}
 }
 
 func sparseCase(rng *rand.Rand, maxw int) {
@@ -176,6 +263,9 @@ func sparseCase(rng *rand.Rand, maxw int) {
 }
 
 func solverCase(rng *rand.Rand, maxw int) {
+	if maxw < 2 {
+		maxw = 2 // the solver arrays need w ≥ 2
+	}
 	w := 2 + rng.Intn(maxw-1)
 	n := 1 + rng.Intn(12)
 	// Triangular solve on the dedicated array.

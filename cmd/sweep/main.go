@@ -1,8 +1,8 @@
 // Command sweep regenerates the paper's quantitative results (experiments
-// E1–E10 of DESIGN.md): step-count formulas, utilization asymptotes,
-// feedback delays, register demands, baseline comparisons and the sparsity
-// ablation — each as a table of paper-predicted vs simulator-measured
-// values.
+// E1–E12 of DESIGN.md): step-count formulas, utilization asymptotes,
+// feedback delays, register demands, baseline comparisons, the sparsity
+// ablation, the §4 variants, and the execution-engine comparison — each as
+// a table of paper-predicted vs simulator-measured values.
 //
 // Usage:
 //
@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/baseline"
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E10); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E12); empty = all")
 	flag.Parse()
 	exps := []struct {
 		id  string
@@ -44,6 +46,7 @@ func main() {
 		{"E9", e9, "baseline comparison"},
 		{"E10", e10, "sparsity ablation"},
 		{"E11", e11, "transformation variants (§4): by-columns, grouping, lower band, triangular array"},
+		{"E12", e12, "execution engines: compiled-schedule speedup and batch throughput scaling"},
 	}
 	ran := false
 	for _, e := range exps {
@@ -296,6 +299,69 @@ func e11() {
 		check(err)
 		fmt.Printf("   n=%2d: tri %d steps (%d passes) + matvec %d steps (%d passes), error %.1e\n",
 			n, sres.TriSteps, sres.TriPasses, sres.MatVecSteps, sres.MatVecPasses, sres.X.MaxAbsDiff(want))
+	}
+}
+
+// e12 is not a paper experiment but a simulator-substrate one: it measures
+// the compiled-schedule engine against the cycle-accurate oracle on
+// identical problems (results are checked bit-for-bit as a side effect)
+// and the batch API's throughput scaling across worker counts.
+func e12() {
+	r := rng()
+	fmt.Println("  engine comparison (identical results, wall-clock per solve):")
+	fmt.Println("   problem            oracle      compiled   speedup")
+	av := matrix.RandomDense(r, 16*8, 8, 3)
+	xv := matrix.RandomVector(r, 8, 3)
+	am := matrix.RandomDense(r, 9, 9, 2)
+	bm := matrix.RandomDense(r, 9, 9, 2)
+	for _, c := range []struct {
+		name string
+		run  func(eng core.Engine) error
+	}{
+		{"matvec w=8 n̄m̄=16", func(eng core.Engine) error {
+			_, err := core.NewMatVecSolver(8).Solve(av, xv, nil, core.MatVecOptions{Engine: eng})
+			return err
+		}},
+		{"matmul w=3 p̄n̄m̄=27", func(eng core.Engine) error {
+			_, err := core.NewMatMulSolver(3).Solve(am, bm, core.MatMulOptions{Engine: eng})
+			return err
+		}},
+	} {
+		timeOf := func(eng core.Engine) time.Duration {
+			const reps = 200
+			check(c.run(eng)) // warm up schedule cache and allocator
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				check(c.run(eng))
+			}
+			return time.Since(start) / reps
+		}
+		to := timeOf(core.EngineOracle)
+		tc := timeOf(core.EngineCompiled)
+		fmt.Printf("   %-18s %9s  %9s   %5.1fx\n", c.name, to, tc, float64(to)/float64(tc))
+	}
+
+	fmt.Printf("  batch throughput (%d problems, matvec w=8 n̄m̄=16, GOMAXPROCS=%d):\n",
+		128, runtime.GOMAXPROCS(0))
+	problems := make([]core.MatVecProblem, 128)
+	for i := range problems {
+		problems[i] = core.MatVecProblem{
+			A: matrix.RandomDense(r, 16*8, 8, 3),
+			X: matrix.RandomVector(r, 8, 3),
+		}
+	}
+	s := core.NewMatVecSolver(8)
+	var base time.Duration
+	for _, workers := range core.WorkerLadder(runtime.GOMAXPROCS(0)) {
+		start := time.Now()
+		_, err := s.SolveBatchWorkers(problems, workers)
+		check(err)
+		el := time.Since(start)
+		if workers == 1 {
+			base = el
+		}
+		fmt.Printf("   workers=%2d: %10s   %8.0f problems/s   speedup %.2fx\n",
+			workers, el, float64(len(problems))/el.Seconds(), float64(base)/float64(el))
 	}
 }
 

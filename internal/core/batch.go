@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+)
+
+// The batch API runs many independent problems across a worker pool. Every
+// simulated array is a fixed piece of hardware serving one problem stream,
+// but a production service simulates *fleets* of them: the pool dispatches
+// each problem to a worker (one simulated array each), sized to
+// GOMAXPROCS by default. Combined with the shape-keyed schedule cache —
+// workloads repeat shapes, so workers share compiled schedules — batch
+// throughput scales near-linearly with cores.
+
+// MatVecProblem is one independent y = A·x + b problem of a batch.
+type MatVecProblem struct {
+	A *matrix.Dense
+	X matrix.Vector
+	// B may be nil (zero).
+	B matrix.Vector
+	// Opts configure this problem's run (engine, variant, overlap…).
+	Opts MatVecOptions
+}
+
+// MatMulProblem is one independent C = A·B [+ E] problem of a batch.
+type MatMulProblem struct {
+	A, B *matrix.Dense
+	// Opts configure this problem's run (E term, engine…).
+	Opts MatMulOptions
+}
+
+// SolveBatch solves every problem concurrently on a worker pool sized to
+// GOMAXPROCS and returns results aligned with the input slice. On error the
+// failing entries are nil and the first error (annotated with its index) is
+// returned alongside the successful results.
+func (s *MatVecSolver) SolveBatch(problems []MatVecProblem) ([]*MatVecResult, error) {
+	return s.SolveBatchWorkers(problems, runtime.GOMAXPROCS(0))
+}
+
+// SolveBatchWorkers is SolveBatch with an explicit worker count (values < 1
+// mean one worker). Useful for throughput scaling measurements.
+func (s *MatVecSolver) SolveBatchWorkers(problems []MatVecProblem, workers int) ([]*MatVecResult, error) {
+	return solveBatch(problems, workers, func(p MatVecProblem) (*MatVecResult, error) {
+		return s.Solve(p.A, p.X, p.B, p.Opts)
+	})
+}
+
+// SolveBatch solves every problem concurrently on a worker pool sized to
+// GOMAXPROCS and returns results aligned with the input slice. On error the
+// failing entries are nil and the first error (annotated with its index) is
+// returned alongside the successful results.
+func (s *MatMulSolver) SolveBatch(problems []MatMulProblem) ([]*MatMulResult, error) {
+	return s.SolveBatchWorkers(problems, runtime.GOMAXPROCS(0))
+}
+
+// SolveBatchWorkers is SolveBatch with an explicit worker count (values < 1
+// mean one worker).
+func (s *MatMulSolver) SolveBatchWorkers(problems []MatMulProblem, workers int) ([]*MatMulResult, error) {
+	return solveBatch(problems, workers, func(p MatMulProblem) (*MatMulResult, error) {
+		return s.Solve(p.A, p.B, p.Opts)
+	})
+}
+
+// WorkerLadder returns the ascending, deduplicated worker counts
+// {1, 2, 4, max} capped at max — the ladder the throughput harnesses
+// (sweep E12, BenchmarkSolveBatch) measure scaling over.
+func WorkerLadder(max int) []int {
+	var counts []int
+	for _, workers := range []int{1, 2, 4, max} {
+		if workers <= max && (len(counts) == 0 || workers > counts[len(counts)-1]) {
+			counts = append(counts, workers)
+		}
+	}
+	return counts
+}
+
+// solveBatch fans items out to a pool of workers pulling from a shared
+// atomic cursor (work-stealing by index, no channels on the hot path).
+func solveBatch[P, R any](items []P, workers int, solve func(P) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				results[i], errs[i] = solve(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			var zero R
+			results[i] = zero
+			return results, fmt.Errorf("core: batch problem %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/linear"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 	"repro/internal/systolic"
 )
 
@@ -40,8 +41,12 @@ type MatVecOptions struct {
 	// (2n̄−1)·w instead of the constant w. Incompatible with Overlap (the
 	// column-major chains span the whole band).
 	ByColumns bool
-	// Trace records the boundary data flow (Fig. 3).
+	// Trace records the boundary data flow (Fig. 3). Requires the
+	// structural engine.
 	Trace bool
+	// Engine selects the execution engine (default EngineAuto: compiled
+	// fast path unless Trace is set).
+	Engine Engine
 }
 
 // MatVecStats reports measured quantities of a run.
@@ -118,20 +123,29 @@ func (s *MatVecSolver) Solve(a *matrix.Dense, x, b matrix.Vector, opts MatVecOpt
 	} else {
 		t = dbt.NewMatVec(a, s.w)
 	}
+	_, nbar, mbar := t.Shape()
+	if opts.Overlap && nbar < 2 {
+		return nil, fmt.Errorf("core: overlap needs n̄ ≥ 2, have %d (use two independent problems instead)", nbar)
+	}
+	useCompiled, err := opts.Engine.resolve(opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if useCompiled {
+		// Validation is structural (shape-only); the schedule compiler runs
+		// it once per shape and the cache remembers the clean bill.
+		return s.solveCompiled(t, x, b, opts, nbar, mbar)
+	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	_, nbar, mbar := t.Shape()
 	arr := linear.New(s.w)
 	arr.RecordTrace = opts.Trace
 
 	var progs []*linear.Program
 	ranges := [][2]int{{0, t.Blocks()}}
 	if opts.Overlap {
-		if nbar < 2 {
-			return nil, fmt.Errorf("core: overlap needs n̄ ≥ 2, have %d (use two independent problems instead)", nbar)
-		}
-		h := (nbar + 1) / 2 * mbar // split at a row band boundary
+		h := schedule.OverlapSplit(nbar, mbar) // split at a row band boundary
 		ranges = [][2]int{{0, h}, {h, t.Blocks()}}
 	}
 	xbar := t.TransformX(x)
@@ -166,15 +180,55 @@ func (s *MatVecSolver) Solve(a *matrix.Dense, x, b matrix.Vector, opts MatVecOpt
 		GroupableConflicts: res.GroupableConflicts,
 		Trace:              res.Trace,
 	}
-	if opts.Overlap {
-		stats.PredictedT = analysis.MatVecStepsOverlap(s.w, nbar, mbar)
-		stats.PredictedUtilization = analysis.MatVecUtilizationOverlap(s.w, nbar, mbar)
-	} else {
-		stats.PredictedT = analysis.MatVecSteps(s.w, nbar, mbar)
-		stats.PredictedUtilization = analysis.MatVecUtilization(s.w, nbar, mbar)
-	}
+	fillPredicted(&stats, s.w, nbar, mbar, opts.Overlap)
 	for _, f := range res.Feedback {
 		stats.FeedbackDelays = append(stats.FeedbackDelays, f.Delay())
+	}
+	return &MatVecResult{Y: y, Stats: stats}, nil
+}
+
+// solveCompiled executes the transformed problem on the compiled-schedule
+// engine: shape-cached schedule, packed band coefficients, O(MACs)
+// execution with pooled scratch. Results and statistics are bit-identical
+// to the structural path.
+func (s *MatVecSolver) solveCompiled(t dbt.Transform, x, b matrix.Vector, opts MatVecOptions, nbar, mbar int) (*MatVecResult, error) {
+	sch, err := schedule.MatVecFor(t, opts.Overlap)
+	if err != nil {
+		return nil, err
+	}
+	xbar := t.TransformX(x)
+	var bp matrix.Vector
+	if b == nil {
+		bp = matrix.NewVector(sch.BLen)
+	} else {
+		bp = b.Pad(sch.BLen)
+	}
+	band := schedule.GetFloatsUninit(sch.Rows * s.w)
+	defer schedule.PutFloats(band)
+	t.PackBand(*band)
+	ybuf := schedule.GetFloatsUninit(sch.Rows)
+	defer schedule.PutFloats(ybuf)
+	sch.Exec(*band, xbar, bp, *ybuf)
+
+	// Reassemble ȳ blocks and recover y (RecoverY copies, so the pooled
+	// buffer can be released afterwards).
+	ybars := make([]matrix.Vector, t.Blocks())
+	for k := range ybars {
+		ybars[k] = matrix.Vector((*ybuf)[k*s.w : (k+1)*s.w])
+	}
+	y := t.RecoverY(ybars)
+
+	stats := MatVecStats{
+		W: s.w, NBar: nbar, MBar: mbar,
+		T:                  sch.T,
+		Utilization:        sch.Utilization(),
+		MACs:               sch.MACs,
+		GroupedUtilization: sch.GroupedUtilization(),
+		GroupableConflicts: sch.GroupableConflicts,
+	}
+	fillPredicted(&stats, s.w, nbar, mbar, opts.Overlap)
+	if len(sch.FeedbackDelays) > 0 {
+		stats.FeedbackDelays = append([]int(nil), sch.FeedbackDelays...)
 	}
 	return &MatVecResult{Y: y, Stats: stats}, nil
 }
@@ -221,6 +275,18 @@ func (s *MatVecSolver) SolveMany(as []*matrix.Dense, xs []matrix.Vector, bs []ma
 		stats.FeedbackDelays = append(stats.FeedbackDelays, f.Delay())
 	}
 	return ys, stats, nil
+}
+
+// fillPredicted sets the paper's closed-form predictions on stats — shared
+// by both engines so their reported predictions can never diverge.
+func fillPredicted(stats *MatVecStats, w, nbar, mbar int, overlap bool) {
+	if overlap {
+		stats.PredictedT = analysis.MatVecStepsOverlap(w, nbar, mbar)
+		stats.PredictedUtilization = analysis.MatVecUtilizationOverlap(w, nbar, mbar)
+	} else {
+		stats.PredictedT = analysis.MatVecSteps(w, nbar, mbar)
+		stats.PredictedUtilization = analysis.MatVecUtilization(w, nbar, mbar)
+	}
 }
 
 // reverseM returns a with rows and columns reversed (the mirror J·A·J).

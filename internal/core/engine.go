@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// Engine selects the execution engine of a solve.
+//
+// The repository keeps two engines that must agree bit-for-bit:
+//
+//   - The structural engine (internal/linear, internal/hex) advances a
+//     global clock, shifts every register each cycle and checks operand
+//     liveness and wavefront alignment structurally. It is the verification
+//     oracle and the only engine that can record boundary traces.
+//   - The compiled engine (internal/schedule) precomputes the complete
+//     event schedule per shape, caches it, and replays it in O(MACs) with
+//     zero allocations in the hot loop.
+//
+// Both produce identical results and measured statistics (T, utilization,
+// MAC counts, feedback delays); the cross-engine equivalence tests enforce
+// this on randomized shapes.
+type Engine int
+
+const (
+	// EngineAuto uses the compiled engine unless a boundary trace is
+	// requested (traces are only observable structurally).
+	EngineAuto Engine = iota
+	// EngineCompiled forces the compiled-schedule engine; combining it with
+	// Trace is an error.
+	EngineCompiled
+	// EngineOracle forces the cycle-accurate structural simulator.
+	EngineOracle
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineCompiled:
+		return "compiled"
+	case EngineOracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// resolve picks the engine for a run, given whether a trace was requested.
+func (e Engine) resolve(trace bool) (useCompiled bool, err error) {
+	switch e {
+	case EngineAuto:
+		return !trace, nil
+	case EngineCompiled:
+		if trace {
+			return false, fmt.Errorf("core: boundary traces require the structural engine (EngineOracle or EngineAuto)")
+		}
+		return true, nil
+	case EngineOracle:
+		return false, nil
+	default:
+		return false, fmt.Errorf("core: unknown engine %d", int(e))
+	}
+}

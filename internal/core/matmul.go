@@ -7,6 +7,7 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/hex"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 	"repro/internal/systolic"
 )
 
@@ -14,8 +15,12 @@ import (
 type MatMulOptions struct {
 	// E is the additive term of C = A·B + E; nil means zero.
 	E *matrix.Dense
-	// Trace records the c-stream boundary events.
+	// Trace records the c-stream boundary events. Requires the structural
+	// engine.
 	Trace bool
+	// Engine selects the execution engine (default EngineAuto: compiled
+	// fast path unless Trace is set).
+	Engine Engine
 }
 
 // MatMulStats reports measured quantities of a hexagonal array run.
@@ -74,12 +79,19 @@ func (s *MatMulSolver) Solve(a, b *matrix.Dense, opts MatMulOptions) (*MatMulRes
 		return nil, fmt.Errorf("core: E is %d×%d, want %d×%d", opts.E.Rows(), opts.E.Cols(), a.Rows(), b.Cols())
 	}
 	t := dbt.NewMatMul(a, b, s.w)
+	useCompiled, err := opts.Engine.resolve(opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if useCompiled {
+		return s.solveCompiled(t, a, b, opts)
+	}
 	arr := hex.New(s.w)
 	arr.RecordTrace = opts.Trace
 	res := arr.Run(s.program(t, opts.E))
 
 	// Extract C from the recorded output band via the appendix index maps.
-	cFinal := s.extract(t, res.Progs[0]).Slice(0, a.Rows(), 0, b.Cols())
+	cFinal := s.extract(t, res.Progs[0].At).Slice(0, a.Rows(), 0, b.Cols())
 
 	regular, irregular := systolic.DelayHistogram(res.Feedback())
 	stats := MatMulStats{
@@ -92,6 +104,47 @@ func (s *MatMulSolver) Solve(a, b *matrix.Dense, opts MatMulOptions) (*MatMulRes
 		RegularDelays:        regular,
 		IrregularDelays:      irregular,
 		Trace:                res.Trace,
+	}
+	return &MatMulResult{C: cFinal, Stats: stats}, nil
+}
+
+// solveCompiled executes the transformed problem on the compiled-schedule
+// engine: shape-cached schedule, packed Â/B̂ bands, O(MACs) execution with
+// pooled scratch. Results and statistics are bit-identical to the
+// structural path.
+func (s *MatMulSolver) solveCompiled(t *dbt.MatMul, a, b *matrix.Dense, opts MatMulOptions) (*MatMulResult, error) {
+	sch := schedule.MatMulFor(t)
+	aPack := schedule.GetFloatsUninit(sch.Dim * s.w)
+	defer schedule.PutFloats(aPack)
+	bPack := schedule.GetFloatsUninit(sch.Dim * s.w)
+	defer schedule.PutFloats(bPack)
+	t.PackAHat(*aPack)
+	t.PackBHat(*bPack)
+	ext := schedule.GetFloats(len(sch.ExtInits))
+	defer schedule.PutFloats(ext)
+	if opts.E != nil {
+		for i, ei := range sch.ExtInits {
+			(*ext)[i] = t.EPieceAt(opts.E, ei.R, ei.S, ei.P, ei.A, ei.B)
+		}
+	}
+	oband := schedule.GetFloatsUninit(sch.OLen())
+	defer schedule.PutFloats(oband)
+	sch.Exec(*aPack, *bPack, *ext, *oband)
+
+	cFinal := s.extract(t, func(rho, gamma int) float64 {
+		return sch.OAt(*oband, rho, gamma)
+	}).Slice(0, a.Rows(), 0, b.Cols())
+
+	regular, irregular := sch.CopyDelays()
+	stats := MatMulStats{
+		W: s.w, NBar: t.NBar, PBar: t.PBar, MBar: t.MBar,
+		T:                    sch.T,
+		PredictedT:           analysis.MatMulSteps(s.w, t.PBar, t.NBar, t.MBar),
+		Utilization:          float64(analysis.MatMulOps(s.w, t.PBar, t.NBar, t.MBar)) / (float64(s.w*s.w) * float64(sch.T)),
+		PredictedUtilization: analysis.MatMulUtilization(s.w, t.PBar, t.NBar, t.MBar),
+		MeasuredMACs:         sch.MACs,
+		RegularDelays:        regular,
+		IrregularDelays:      irregular,
 	}
 	return &MatMulResult{C: cFinal, Stats: stats}, nil
 }
@@ -123,7 +176,7 @@ func (s *MatMulSolver) SolveMany(as, bs []*matrix.Dense) ([]*matrix.Dense, *MatM
 	res := arr.Run(progs...)
 	cs := make([]*matrix.Dense, len(as))
 	for i, t := range ts {
-		cs[i] = s.extract(t, res.Progs[i]).Slice(0, as[i].Rows(), 0, bs[i].Cols())
+		cs[i] = s.extract(t, res.Progs[i].At).Slice(0, as[i].Rows(), 0, bs[i].Cols())
 	}
 	stats := &MatMulStats{
 		W: s.w,
@@ -169,8 +222,9 @@ func (s *MatMulSolver) program(t *dbt.MatMul, e *matrix.Dense) *hex.Program {
 	}
 }
 
-// extract assembles the padded C from one program's output record.
-func (s *MatMulSolver) extract(t *dbt.MatMul, rec *hex.ProgResult) *matrix.Dense {
+// extract assembles the padded C from an output band reader (the structural
+// engine's ProgResult.At or the compiled engine's band buffer).
+func (s *MatMulSolver) extract(t *dbt.MatMul, at func(rho, gamma int) float64) *matrix.Dense {
 	c := matrix.NewDense(t.NBar*s.w, t.MBar*s.w)
 	for r := 0; r < t.NBar; r++ {
 		for iB := 0; iB < t.MBar; iB++ {
@@ -182,7 +236,7 @@ func (s *MatMulSolver) extract(t *dbt.MatMul, rec *hex.ProgResult) *matrix.Dense
 					if !pieceMember(p, la, lb) {
 						continue
 					}
-					c.Set(r*s.w+la, iB*s.w+lb, rec.At(row*s.w+la, row*s.w+off+lb))
+					c.Set(r*s.w+la, iB*s.w+lb, at(row*s.w+la, row*s.w+off+lb))
 				}
 			}
 		}

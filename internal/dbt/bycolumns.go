@@ -29,6 +29,9 @@ type Transform interface {
 	RecoverY(ybars []matrix.Vector) matrix.Vector
 	// Validate checks the structural conditions of §2.
 	Validate() error
+	// PackBand writes Ā into dst (len BandRows()·w) in the packed layout of
+	// pack.go, for the compiled-schedule engine.
+	PackBand(dst []float64)
 }
 
 // Shape implements Transform for the by-rows variant.

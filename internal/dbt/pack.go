@@ -1,0 +1,97 @@
+package dbt
+
+import (
+	"fmt"
+
+	"repro/internal/blockpart"
+)
+
+// This file exports the transformed bands as flat packed arrays for the
+// compiled-schedule engine (internal/schedule). The cycle-accurate
+// simulators read coefficients one at a time through BandAt/AHatAt/BHatAt
+// closures; the compiled engine instead wants every coefficient laid out
+// contiguously so its inner loop is a pure stride-1 multiply–accumulate.
+//
+// Layouts:
+//
+//   - Upper bands (Ā of matvec, Â of matmul): dst[i*w+d] = band[i][i+d],
+//     d ∈ [0, w). Entries past the band's column count are zero.
+//   - Lower bands (B̂ of matmul), packed by column so the matmul inner loop
+//     over κ is stride-1 in both operands: dst[j*w+d] = band[j+d][j].
+
+// checkPack validates a destination buffer of n rows of w entries.
+func checkPack(dst []float64, rows, w int) {
+	if len(dst) != rows*w {
+		panic(fmt.Sprintf("dbt: pack buffer len %d, want %d×%d=%d", len(dst), rows, w, rows*w))
+	}
+}
+
+// PackBand writes Ā into dst (len n̄m̄w·w) in upper-band packed layout.
+func (t *MatVec) PackBand(dst []float64) {
+	packBandBlocks(dst, t.Grid, t.W, t.Blocks(), t.UpperIndex, t.LowerIndex)
+}
+
+// PackBand writes Ā into dst (len n̄m̄w·w) in upper-band packed layout.
+func (t *MatVecByColumns) PackBand(dst []float64) {
+	packBandBlocks(dst, t.Grid, t.W, t.Blocks(), t.UpperIndex, t.LowerIndex)
+}
+
+// packBandBlocks packs a DBT matvec band directly from the padded grid,
+// block row by block row: band row kw+a holds Ū_k[a][a..w−1] on diagonals
+// 0..w−1−a followed by L̄_k[a][0..a−1] on diagonals w−a..w−1 (both triangles
+// read straight out of the padded matrix, no per-element dispatch). This is
+// exactly what BandAt(i, i+d) returns, element for element.
+func packBandBlocks(dst []float64, g *blockpart.Grid, w, blocks int, upper, lower func(k int) (r, s int)) {
+	checkPack(dst, blocks*w, w)
+	padded := g.Padded()
+	for k := 0; k < blocks; k++ {
+		ru, su := upper(k)
+		rl, sl := lower(k)
+		for a := 0; a < w; a++ {
+			row := dst[(k*w+a)*w : (k*w+a+1)*w]
+			up := padded.RawRow(ru*w + a)[su*w : (su+1)*w]
+			copy(row, up[a:])
+			if a > 0 {
+				lo := padded.RawRow(rl*w + a)[sl*w : (sl+1)*w]
+				copy(row[w-a:], lo[:a])
+			}
+		}
+	}
+}
+
+// PackAHat writes Â into dst (len Dim·w) in upper-band packed layout.
+func (t *MatMul) PackAHat(dst []float64) {
+	packUpper(dst, t.Dim(), t.Dim(), t.W, t.AHatAt)
+}
+
+// PackBHat writes B̂ into dst (len Dim·w) in lower-band by-column packed
+// layout: dst[j*w+d] = B̂[j+d][j].
+func (t *MatMul) PackBHat(dst []float64) {
+	n := t.Dim()
+	checkPack(dst, n, t.W)
+	for j := 0; j < n; j++ {
+		row := dst[j*t.W : (j+1)*t.W]
+		for d := range row {
+			if i := j + d; i < n {
+				row[d] = t.BHatAt(i, j)
+			} else {
+				row[d] = 0
+			}
+		}
+	}
+}
+
+// packUpper fills dst[i*w+d] = at(i, i+d) for j = i+d < cols, zero beyond.
+func packUpper(dst []float64, rows, cols, w int, at func(i, j int) float64) {
+	checkPack(dst, rows, w)
+	for i := 0; i < rows; i++ {
+		row := dst[i*w : (i+1)*w]
+		for d := range row {
+			if j := i + d; j < cols {
+				row[d] = at(i, j)
+			} else {
+				row[d] = 0
+			}
+		}
+	}
+}

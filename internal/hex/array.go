@@ -147,12 +147,18 @@ type cItem struct {
 	val        float64
 }
 
+// injection is one scheduled boundary entry. It stores the item inline
+// (kind-tagged) rather than behind a pointer: the schedule holds one
+// injection per band element, and three heap allocations each was the
+// dominant cost of building it.
 type injection struct {
 	t    int
 	d, e int
-	a    *aItem
-	b    *bItem
-	c    *cItem
+	kind uint8 // 'a', 'b' or 'c'
+	prog int
+	// p1, p2 are (i, k) for a-items, (k, j) for b-items, (ρ, γ) for c-items.
+	p1, p2 int
+	val    float64 // coefficient for a/b-items; c values resolve at injection
 }
 
 // Run executes one or more programs on the array simultaneously and returns
@@ -212,7 +218,7 @@ func (ar *Array) Run(progs ...*Program) *Result {
 					eHi = k
 				}
 				add(injection{t: p.Offset + i + 2*k - eHi, d: d, e: eHi,
-					a: &aItem{live: true, prog: pi, i: i, k: k, val: p.AAt(i, k)}})
+					kind: 'a', prog: pi, p1: i, p2: k, val: p.AAt(i, k)})
 			}
 		}
 		// b-items: B̄[k][j] first fires at d_hi = min(w−1, k), cycle j+2k−d_hi.
@@ -227,7 +233,7 @@ func (ar *Array) Run(progs ...*Program) *Result {
 					dHi = k
 				}
 				add(injection{t: p.Offset + j + 2*k - dHi, d: dHi, e: e,
-					b: &bItem{live: true, prog: pi, k: k, j: j, val: p.BAt(k, j)}})
+					kind: 'b', prog: pi, p1: k, p2: j, val: p.BAt(k, j)})
 			}
 		}
 		// c-items: result position (ρ, γ) enters the south boundary at cycle
@@ -243,7 +249,7 @@ func (ar *Array) Run(progs ...*Program) *Result {
 					kMin = gamma
 				}
 				add(injection{t: p.Offset + rho + gamma + kMin, d: kMin - rho, e: kMin - gamma,
-					c: &cItem{live: true, prog: pi, rho: rho, gamma: gamma}})
+					kind: 'c', prog: pi, p1: rho, p2: gamma})
 			}
 		}
 	}
@@ -257,22 +263,22 @@ func (ar *Array) Run(progs ...*Program) *Result {
 		// Phase 1: inject.
 		for _, inj := range injections[t] {
 			idx := at(inj.d, inj.e)
-			switch {
-			case inj.a != nil:
+			switch inj.kind {
+			case 'a':
 				if aPlane[idx].live {
 					panic(fmt.Sprintf("hex: a collision at PE(%d,%d) cycle %d", inj.d, inj.e, t))
 				}
-				aPlane[idx] = *inj.a
-			case inj.b != nil:
+				aPlane[idx] = aItem{live: true, prog: inj.prog, i: inj.p1, k: inj.p2, val: inj.val}
+			case 'b':
 				if bPlane[idx].live {
 					panic(fmt.Sprintf("hex: b collision at PE(%d,%d) cycle %d", inj.d, inj.e, t))
 				}
-				bPlane[idx] = *inj.b
-			case inj.c != nil:
+				bPlane[idx] = bItem{live: true, prog: inj.prog, k: inj.p1, j: inj.p2, val: inj.val}
+			case 'c':
 				if cPlane[idx].live {
 					panic(fmt.Sprintf("hex: c collision at PE(%d,%d) cycle %d", inj.d, inj.e, t))
 				}
-				c := *inj.c
+				c := cItem{live: true, prog: inj.prog, rho: inj.p1, gamma: inj.p2}
 				pr := res.Progs[c.prog]
 				init := progs[c.prog].CInitFor(c.rho, c.gamma)
 				if init.Feedback {

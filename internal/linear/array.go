@@ -42,9 +42,10 @@ type YInit struct {
 
 // Program is one band matrix–vector problem ȳ = Ā·x̄ + b̄ scheduled on the
 // array. Rows is the band row count, X the full x̄ stream (len = band cols),
-// BandAt the coefficient reader, and YInitFor the per-row initialization.
+// BandAt the coefficient reader, and YInit the per-row initialization.
 // Offset shifts every injection by a fixed number of cycles (used for
-// overlapping two problems).
+// overlapping two problems). BandAt and YInit must be pure functions of
+// their indices: the engine may evaluate them more than once per element.
 type Program struct {
 	Rows   int
 	X      []float64
@@ -148,10 +149,22 @@ func (ar *Array) Run(progs ...*Program) *Result {
 			maxT = t
 		}
 	}
+	// Pre-size the feedback log: YInit is a pure function of the row, so the
+	// edge count is known before the run.
+	nfb := 0
+	for _, p := range progs {
+		for i := 0; i < p.Rows; i++ {
+			if p.YInit(i).Feedback {
+				nfb++
+			}
+		}
+	}
+	res.Feedback = make([]systolic.FeedbackObservation, 0, nfb)
 
 	xregs := make([]item, w)
 	yregs := make([]item, w)
 	aIn := make([]item, w)
+	fired := make([]bool, w)
 
 	for t := 0; t <= maxT; t++ {
 		// Phase 1: boundary injection for cycle t.
@@ -218,7 +231,9 @@ func (ar *Array) Run(progs ...*Program) *Result {
 		// Phase 2: compute. A PE fires when x, y and a are all present; the
 		// engine cross-checks that the three operands belong to the same
 		// program and meet at the PE the timing model predicts.
-		fired := make([]bool, w)
+		for k := range fired {
+			fired[k] = false
+		}
 		for k := 0; k < w; k++ {
 			if !xregs[k].live || !yregs[k].live || !aIn[k].live {
 				continue

@@ -70,6 +70,17 @@ func (m *Dense) check(i, j int) {
 	}
 }
 
+// RawRow returns row i as a slice sharing the matrix's backing storage —
+// no copy, no per-element bounds checks. It exists for the packed-band
+// exporters on the compiled-engine fast path; callers must not modify or
+// retain the slice.
+func (m *Dense) RawRow(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	c := NewDense(m.rows, m.cols)

@@ -1,0 +1,120 @@
+package schedule
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dbt"
+)
+
+// Schedules depend only on problem shape, and the sweep/soak/bench
+// harnesses resolve the same shapes thousands of times — so compiled
+// schedules are cached process-wide in concurrency-safe maps keyed by
+// shape. The cache is bounded: distinct shapes are few in practice, but a
+// pathological workload cycling through unbounded shapes would otherwise
+// grow it forever, so past maxCached entries the map is dropped and rebuilt
+// (a full re-compile is cheap relative to the workload that caused it).
+const maxCached = 4096
+
+type matvecKey struct {
+	w, nbar, mbar int
+	variant       uint8 // 0 = by-rows, 1 = by-columns
+	overlap       bool
+}
+
+type matmulKey struct {
+	w, nbar, pbar, mbar int
+}
+
+var (
+	matvecCache atomic.Pointer[sync.Map] // matvecKey → *MatVec
+	matvecCount atomic.Int64
+	matmulCache atomic.Pointer[sync.Map] // matmulKey → *MatMul
+	matmulCount atomic.Int64
+)
+
+func init() {
+	matvecCache.Store(&sync.Map{})
+	matmulCache.Store(&sync.Map{})
+}
+
+// MatVecFor returns the compiled schedule for the shape of t (with or
+// without the overlap split), reusing a cached schedule when the shape has
+// been seen before. Unknown Transform implementations are compiled but not
+// cached (their BSource topology is not identified by the key). The error
+// mirrors the structural path's: §2 validation failure or an unsplittable
+// overlap.
+func MatVecFor(t dbt.Transform, overlap bool) (*MatVec, error) {
+	var variant uint8
+	switch t.(type) {
+	case *dbt.MatVec:
+		variant = 0
+	case *dbt.MatVecByColumns:
+		variant = 1
+	default:
+		return compileMatVec(t, overlap)
+	}
+	w, nbar, mbar := t.Shape()
+	key := matvecKey{w: w, nbar: nbar, mbar: mbar, variant: variant, overlap: overlap}
+	cache := matvecCache.Load()
+	if s, ok := cache.Load(key); ok {
+		return s.(*MatVec), nil
+	}
+	s, err := compileMatVec(t, overlap)
+	if err != nil {
+		return nil, err
+	}
+	if _, loaded := cache.LoadOrStore(key, s); !loaded {
+		if matvecCount.Add(1) > maxCached {
+			matvecCache.Store(&sync.Map{})
+			matvecCount.Store(0)
+		}
+	}
+	return s, nil
+}
+
+// MatMulFor returns the compiled schedule for the shape of t, reusing a
+// cached schedule when possible.
+func MatMulFor(t *dbt.MatMul) *MatMul {
+	key := matmulKey{w: t.W, nbar: t.NBar, pbar: t.PBar, mbar: t.MBar}
+	cache := matmulCache.Load()
+	if s, ok := cache.Load(key); ok {
+		return s.(*MatMul)
+	}
+	s := compileMatMul(t)
+	if _, loaded := cache.LoadOrStore(key, s); !loaded {
+		if matmulCount.Add(1) > maxCached {
+			matmulCache.Store(&sync.Map{})
+			matmulCount.Store(0)
+		}
+	}
+	return s
+}
+
+// floatPool recycles the per-solve scratch buffers (packed bands, output
+// bands) so steady-state solves allocate nothing in the execution engine.
+var floatPool = sync.Pool{New: func() interface{} { s := make([]float64, 0, 256); return &s }}
+
+// GetFloats returns a zeroed float64 scratch slice of length n from the
+// pool. Pair with PutFloats.
+func GetFloats(n int) *[]float64 {
+	p := GetFloatsUninit(n)
+	clear(*p)
+	return p
+}
+
+// GetFloatsUninit returns a scratch slice of length n whose contents are
+// arbitrary. For buffers that are provably fully written before any read
+// (packed bands, Exec outputs) this skips a memset of the same order as
+// the compute itself. Pair with PutFloats.
+func GetFloatsUninit(n int) *[]float64 {
+	p := floatPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutFloats returns a scratch slice to the pool.
+func PutFloats(p *[]float64) { floatPool.Put(p) }

@@ -1,0 +1,225 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dbt"
+)
+
+// Init kinds of a product-band position's accumulator.
+const (
+	matmulZero     = 0 // starts at 0 (structurally absent init)
+	matmulExt      = 1 // initIdx indexes the external init values (E pieces)
+	matmulFeedback = 2 // initIdx is the flat output index of the source position
+)
+
+// ExtInit locates the E-block element injected at one position: element
+// (A, B) of triangular piece P of E block (R, S), resolved per Solve call
+// with dbt.MatMul.EPieceAt. The descriptors are shape-only; the values are
+// data.
+type ExtInit struct {
+	R, S int
+	P    dbt.Piece
+	A, B int
+}
+
+// matmulOp is one compiled result position: an initialization plus a run of
+// n stride-1 multiply–accumulates over the packed bands.
+type matmulOp struct {
+	out      int32 // flat output index ρ·(2w−1) + (γ−ρ) + w−1
+	aOff     int32 // packed Â offset of the first term
+	bOff     int32 // packed B̂ offset of the first term
+	n        int32 // term count
+	initKind uint8
+	initIdx  int32
+}
+
+// MatMul is a compiled schedule for the w×w hexagonal array with spiral
+// feedback: the complete accumulation plan of one DBT matrix–matrix problem
+// of a given shape.
+type MatMul struct {
+	// W, NBar, PBar, MBar identify the shape; Dim = p̄n̄m̄w + w − 1 the band
+	// matrix dimension; Band = 2w−1 the product band width.
+	W, NBar, PBar, MBar int
+	Dim, Band           int
+
+	// T is the step count the array would measure; MACs the total PE
+	// operation count (the oracle's Activity total).
+	T, MACs int
+
+	// RegularDelays and IrregularDelays histogram the feedback edge delays
+	// (delay → edge count), split as the paper does (§3).
+	RegularDelays, IrregularDelays map[int]int
+
+	// ExtInits lists the E-piece descriptors in initIdx order.
+	ExtInits []ExtInit
+
+	ops []matmulOp
+}
+
+// compileMatMul builds the schedule for the shape of t. Only shape methods
+// of t are consulted (PieceAt, InitFor, PieceColOffset) — never data.
+func compileMatMul(t *dbt.MatMul) *MatMul {
+	w := t.W
+	dim := t.Dim()
+	band := 2*w - 1
+	s := &MatMul{
+		W: w, NBar: t.NBar, PBar: t.PBar, MBar: t.MBar,
+		Dim: dim, Band: band,
+		T:               3*(dim-1) + w + 1,
+		RegularDelays:   make(map[int]int),
+		IrregularDelays: make(map[int]int),
+	}
+
+	// A c-item for result position (ρ, γ) enters the array at cycle
+	// ρ+γ+max(ρ,γ) and accumulates Â[ρ][κ]·B̂[κ][γ] for κ increasing from
+	// max(ρ,γ) to min(min(ρ,γ)+w−1, Dim−1) — one term per cycle — before
+	// leaving at cycle ρ+γ+min(ρ,γ)+w−1 and becoming available one cycle
+	// later. Dependencies (spiral feedback) always point at positions whose
+	// availability precedes the consumer's entry, so sorting by entry cycle
+	// is a topological order.
+	type posOp struct {
+		inject int
+		op     matmulOp
+	}
+	ops := make([]posOp, 0, dim*band)
+	flat := func(rho, gamma int) int32 { return int32(rho*band + gamma - rho + w - 1) }
+	emitOf := func(rho, gamma int) int {
+		lo := rho
+		if gamma < lo {
+			lo = gamma
+		}
+		return rho + gamma + lo + w
+	}
+	for rho := 0; rho < dim; rho++ {
+		for f := -(w - 1); f <= w-1; f++ {
+			gamma := rho + f
+			if gamma < 0 || gamma >= dim {
+				continue
+			}
+			k0 := rho
+			if gamma > k0 {
+				k0 = gamma
+			}
+			k1 := rho
+			if gamma < k1 {
+				k1 = gamma
+			}
+			k1 += w - 1
+			if k1 >= dim {
+				k1 = dim - 1
+			}
+			op := matmulOp{
+				out:  flat(rho, gamma),
+				aOff: int32(rho*w + k0 - rho),
+				bOff: int32(gamma*w + k0 - gamma),
+				n:    int32(k1 - k0 + 1),
+			}
+			inject := rho + gamma + k0
+			blk, piece, la, lb := t.PieceAt(rho, gamma)
+			switch init := t.InitFor(blk, piece); init.Kind {
+			case dbt.InitE:
+				op.initKind = matmulExt
+				op.initIdx = int32(len(s.ExtInits))
+				s.ExtInits = append(s.ExtInits, ExtInit{
+					R: init.R, S: init.S, P: dbt.EPieceForInit(piece), A: la, B: lb,
+				})
+			case dbt.InitFeedback:
+				srcRho := init.Row*w + la
+				srcGamma := init.Row*w + t.PieceColOffset(init.Piece) + lb
+				if srcRho < 0 || srcRho >= dim || srcGamma < 0 || srcGamma >= dim {
+					panic(fmt.Sprintf("schedule: feedback source (%d,%d) outside band matrix %d", srcRho, srcGamma, dim))
+				}
+				emit := emitOf(srcRho, srcGamma)
+				if emit > inject {
+					panic(fmt.Sprintf("schedule: acausal matmul feedback (%d,%d)→(%d,%d): emit %d after inject %d",
+						srcRho, srcGamma, rho, gamma, emit, inject))
+				}
+				op.initKind = matmulFeedback
+				op.initIdx = flat(srcRho, srcGamma)
+				if init.Irregular {
+					s.IrregularDelays[inject-emit]++
+				} else {
+					s.RegularDelays[inject-emit]++
+				}
+			}
+			s.MACs += int(op.n)
+			ops = append(ops, posOp{inject, op})
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].inject < ops[j].inject })
+	s.ops = make([]matmulOp, len(ops))
+	for i, p := range ops {
+		s.ops[i] = p.op
+	}
+	return s
+}
+
+// OLen returns the length of the flat output band buffer: Dim·(2w−1).
+func (s *MatMul) OLen() int { return s.Dim * s.Band }
+
+// OAt reads the output band value O[ρ][γ] from a buffer filled by Exec.
+// Out-of-band positions read 0 (mirroring hex.ProgResult.At), and so do
+// positions outside the band matrix: their flat slots exist in the buffer
+// but no op ever writes them, which matters because Exec output buffers
+// may come from the pool uninitialized.
+func (s *MatMul) OAt(o []float64, rho, gamma int) float64 {
+	f := gamma - rho
+	if f <= -s.W || f >= s.W || rho < 0 || rho >= s.Dim || gamma < 0 || gamma >= s.Dim {
+		return 0
+	}
+	return o[rho*s.Band+f+s.W-1]
+}
+
+// Exec runs the compiled schedule over one problem's data. aPack/bPack are
+// the packed bands (dbt.PackAHat/PackBHat layouts, len Dim·w), ext the
+// resolved E-piece values aligned with ExtInits (nil allowed when empty),
+// and o the output band buffer (len ≥ OLen). Exec performs no allocation;
+// each position accumulates its terms in increasing-κ (cycle) order from
+// the same initialization the array would inject, so results are
+// bit-identical to the structural simulator.
+func (s *MatMul) Exec(aPack, bPack, ext, o []float64) {
+	if len(aPack) < s.Dim*s.W || len(bPack) < s.Dim*s.W || len(o) < s.OLen() || len(ext) < len(s.ExtInits) {
+		panic(fmt.Sprintf("schedule: Exec buffer sizes a=%d b=%d ext=%d o=%d for dim=%d w=%d ext=%d",
+			len(aPack), len(bPack), len(ext), len(o), s.Dim, s.W, len(s.ExtInits)))
+	}
+	for i := range s.ops {
+		op := &s.ops[i]
+		var v float64
+		switch op.initKind {
+		case matmulExt:
+			v = ext[op.initIdx]
+		case matmulFeedback:
+			v = o[op.initIdx]
+		}
+		as := aPack[op.aOff : op.aOff+op.n]
+		bs := bPack[op.bOff : op.bOff+op.n]
+		for k, a := range as {
+			v += a * bs[k]
+		}
+		o[op.out] = v
+	}
+}
+
+// Utilization returns MACs/(w²·T) over the measured operation count.
+func (s *MatMul) Utilization() float64 {
+	if s.T == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(s.W*s.W) * float64(s.T))
+}
+
+// CopyDelays returns fresh copies of the delay histograms (callers may
+// mutate their stats maps; the cached schedule must stay immutable).
+func (s *MatMul) CopyDelays() (regular, irregular map[int]int) {
+	regular = make(map[int]int, len(s.RegularDelays))
+	for k, v := range s.RegularDelays {
+		regular[k] = v
+	}
+	irregular = make(map[int]int, len(s.IrregularDelays))
+	for k, v := range s.IrregularDelays {
+		irregular[k] = v
+	}
+	return regular, irregular
+}

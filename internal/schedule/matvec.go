@@ -1,0 +1,232 @@
+// Package schedule is the compiled-schedule execution engine: the fast
+// counterpart of the cycle-accurate structural simulators in internal/linear
+// and internal/hex.
+//
+// The structural simulators advance a global clock and re-discover, every
+// cycle, which boundary values enter, which PEs hold a full operand set and
+// which registers shift — O(T·w) (linear) or O(T·w²) (hex) interpretive work
+// with closure calls per coefficient. But the complete event schedule of a
+// DBT problem is a pure function of its *shape* (w, n̄, m̄ [, p̄], options):
+// which band row meets which x̄ element, in which order a result position
+// accumulates its κ terms, where every feedback edge lands, and every
+// emit/inject cycle are all known before any data arrives. This package
+// compiles that schedule once per shape — dense index arrays, analytic
+// cycle stamps, feedback topology — caches it in a concurrency-safe map,
+// and executes it in O(MACs) with zero allocations and no liveness checks
+// in the hot loop.
+//
+// Execution is bit-identical to the structural engines: per result element
+// the multiply–accumulates run in exactly the cycle order the array would
+// realize (increasing diagonal d for the linear array, increasing κ for the
+// hexagonal array), starting from the same initialization value, so every
+// float64 rounding step matches. The structural engines remain the
+// verification oracle; internal/core cross-checks the two engines on
+// randomized shapes.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dbt"
+)
+
+// matvecInit describes where band row i's accumulator starts.
+const (
+	matvecFromB    = 0 // initIdx indexes the padded b vector
+	matvecFeedback = 1 // initIdx is the producing global band row
+)
+
+// MatVec is a compiled schedule for the linear contraflow array: the full
+// event plan of one DBT matrix–vector problem of a given shape, including
+// the paper's two-subproblem overlap mode.
+type MatVec struct {
+	// W, NBar, MBar identify the shape; Overlap the §2 split mode.
+	W, NBar, MBar int
+	Overlap       bool
+
+	// Rows is the band row count n̄m̄w; XLen the x̄ stream length
+	// (n̄m̄w + w − 1); BLen the padded b length (n̄w).
+	Rows, XLen, BLen int
+
+	// T is the step count the array would measure; MACs the total
+	// multiply–accumulate count (= Rows·w); GroupableConflicts the number of
+	// (cycle, PE pair) collisions under the paper's 2-PEs-in-1 grouping.
+	T, MACs            int
+	GroupableConflicts int
+
+	// FeedbackDelays lists the delay of every feedback edge in the array's
+	// observation (injection cycle) order.
+	FeedbackDelays []int
+
+	// initKind/initIdx give each band row's accumulator start: an element of
+	// the padded b (matvecFromB) or an earlier row's output (matvecFeedback).
+	initKind []uint8
+	initIdx  []int32
+}
+
+// OverlapSplit returns the block index at which the overlap mode splits the
+// transformed problem into two sub-problems (a row band boundary, so every
+// feedback chain stays inside one sub-problem).
+func OverlapSplit(nbar, mbar int) int { return (nbar + 1) / 2 * mbar }
+
+// compileMatVec builds the schedule for the shape of t. It returns an
+// error (matching the structural path's failure mode) when the
+// transformation fails §2 validation or cannot be split for overlap —
+// impossible for the dbt-built variants, reachable for external Transform
+// implementations.
+func compileMatVec(t dbt.Transform, overlap bool) (*MatVec, error) {
+	// §2's structural conditions are shape-only too: checked once here, and
+	// the cache remembers the clean bill for every later same-shape solve.
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	w, nbar, mbar := t.Shape()
+	blocks := t.Blocks()
+	rows := blocks * w
+	s := &MatVec{
+		W: w, NBar: nbar, MBar: mbar, Overlap: overlap,
+		Rows: rows, XLen: t.BandCols(), BLen: nbar * w,
+		MACs:     rows * w,
+		initKind: make([]uint8, rows),
+		initIdx:  make([]int32, rows),
+	}
+
+	// Per-row initialization topology (shape-only: BSource never reads data).
+	for i := 0; i < rows; i++ {
+		k := i / w
+		switch src := t.BSource(k); src.Kind {
+		case dbt.FromB:
+			s.initKind[i] = matvecFromB
+			s.initIdx[i] = int32(src.Index*w + i%w)
+		default:
+			s.initKind[i] = matvecFeedback
+			s.initIdx[i] = int32(i - (k-src.Index)*w)
+			if s.initIdx[i] < 0 || int(s.initIdx[i]) >= i {
+				panic(fmt.Sprintf("schedule: acausal matvec feedback %d → %d", s.initIdx[i], i))
+			}
+		}
+	}
+
+	// Program ranges and offsets exactly as core schedules them: one program
+	// over all blocks, or the overlap split with offsets 0 and 1.
+	ranges := [][2]int{{0, blocks}}
+	if overlap {
+		h := OverlapSplit(nbar, mbar)
+		ranges = [][2]int{{0, h}, {h, blocks}}
+		if src := t.BSource(h); src.Kind != dbt.FromB {
+			return nil, fmt.Errorf("schedule: overlap split at block %d breaks a feedback chain", h)
+		}
+	}
+
+	// Cycle accounting. For a program at offset Δ, local row l:
+	//   inject(ȳ_l) = Δ + 2l + w − 1
+	//   emit(ȳ_l)   = Δ + 2l + 2w − 1
+	//   PE k fires for row l at Δ + 2l + 2w − 2 − k.
+	type obs struct{ inject, prog, delay int }
+	var observations []obs
+	emit := make([]int, rows)
+	maxT := 0
+	for pi, r := range ranges {
+		off := pi
+		for k := r[0]; k < r[1]; k++ {
+			for a := 0; a < w; a++ {
+				i := k*w + a
+				l := i - r[0]*w
+				emit[i] = off + 2*l + 2*w - 1
+				if s.initKind[i] == matvecFeedback {
+					inj := off + 2*l + w - 1
+					observations = append(observations, obs{inj, pi, inj - emit[s.initIdx[i]]})
+				}
+			}
+		}
+		progRows := (r[1] - r[0]) * w
+		if t := off + 2*(progRows-1) + 2*w - 2; t > maxT {
+			maxT = t
+		}
+	}
+	s.T = maxT + 1
+	sort.SliceStable(observations, func(i, j int) bool {
+		if observations[i].inject != observations[j].inject {
+			return observations[i].inject < observations[j].inject
+		}
+		return observations[i].prog < observations[j].prog
+	})
+	s.FeedbackDelays = make([]int, len(observations))
+	for i, o := range observations {
+		s.FeedbackDelays[i] = o.delay
+	}
+
+	// GroupableConflicts: cycles in which both PEs of a physical pair
+	// (2q, 2q+1) fire. Within one program adjacent PEs fire on opposite
+	// parities, so conflicts only arise between overlapped programs; count
+	// them with a boolean firing grid (compile-time only, cached).
+	if len(ranges) > 1 {
+		fired := make([]bool, (maxT+1)*w)
+		for pi, r := range ranges {
+			off := pi
+			progRows := (r[1] - r[0]) * w
+			for l := 0; l < progRows; l++ {
+				for k := 0; k < w; k++ {
+					fired[(off+2*l+2*w-2-k)*w+k] = true
+				}
+			}
+		}
+		for t := 0; t <= maxT; t++ {
+			for q := 0; q+1 < w; q += 2 {
+				if fired[t*w+q] && fired[t*w+q+1] {
+					s.GroupableConflicts++
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Exec runs the compiled schedule over one problem's data. band is the
+// packed Ā (len Rows·w, dbt.PackBand layout), xbar the transformed x̄
+// (len ≥ XLen), b the padded b̄ (len ≥ BLen), and y the output buffer
+// (len ≥ Rows) receiving every band row's ȳ. Exec performs no allocation;
+// each row accumulates its w terms in the array's cycle order (increasing
+// diagonal), so results are bit-identical to the structural simulator.
+func (s *MatVec) Exec(band, xbar, b, y []float64) {
+	w := s.W
+	if len(band) < s.Rows*w || len(xbar) < s.XLen || len(b) < s.BLen || len(y) < s.Rows {
+		panic(fmt.Sprintf("schedule: Exec buffer sizes band=%d xbar=%d b=%d y=%d for rows=%d w=%d",
+			len(band), len(xbar), len(b), len(y), s.Rows, w))
+	}
+	kinds, idxs := s.initKind, s.initIdx
+	for i := 0; i < s.Rows; i++ {
+		var v float64
+		if kinds[i] == matvecFromB {
+			v = b[idxs[i]]
+		} else {
+			v = y[idxs[i]]
+		}
+		coeffs := band[i*w : (i+1)*w]
+		xs := xbar[i : i+w]
+		for d, c := range coeffs {
+			v += c * xs[d]
+		}
+		y[i] = v
+	}
+}
+
+// Utilization returns MACs/(w·T), the PE utilization η the array would
+// measure for this shape.
+func (s *MatVec) Utilization() float64 {
+	if s.T == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(s.W) * float64(s.T))
+}
+
+// GroupedUtilization returns MACs/(⌈w/2⌉·T): η with every two adjacent PEs
+// sharing one physical unit (meaningful when GroupableConflicts is zero).
+func (s *MatVec) GroupedUtilization() float64 {
+	if s.T == 0 {
+		return 0
+	}
+	physical := (s.W + 1) / 2
+	return float64(s.MACs) / (float64(physical) * float64(s.T))
+}

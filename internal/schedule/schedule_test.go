@@ -1,0 +1,251 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+)
+
+// mustMatVecFor compiles a schedule for a transform that is known valid.
+func mustMatVecFor(t *testing.T, tr dbt.Transform, overlap bool) *MatVec {
+	t.Helper()
+	s, err := MatVecFor(tr, overlap)
+	if err != nil {
+		t.Fatalf("MatVecFor: %v", err)
+	}
+	return s
+}
+
+// TestCacheReusesShapes: same shape → same cached schedule object; distinct
+// shape, variant or overlap → distinct schedules.
+func TestCacheReusesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a1 := matrix.RandomDense(rng, 6, 9, 3)
+	a2 := matrix.RandomDense(rng, 6, 9, 5) // same shape, different data
+	a3 := matrix.RandomDense(rng, 9, 9, 3) // different shape
+	s1 := mustMatVecFor(t, dbt.NewMatVec(a1, 3), false)
+	s2 := mustMatVecFor(t, dbt.NewMatVec(a2, 3), false)
+	s3 := mustMatVecFor(t, dbt.NewMatVec(a3, 3), false)
+	if s1 != s2 {
+		t.Fatal("same shape should share one compiled schedule")
+	}
+	if s1 == s3 {
+		t.Fatal("different shapes must not share a schedule")
+	}
+	if mustMatVecFor(t, dbt.NewMatVec(a1, 3), true) == s1 {
+		t.Fatal("overlap schedules must be distinct")
+	}
+	if mustMatVecFor(t, dbt.NewMatVecByColumns(a1, 3), false) == s1 {
+		t.Fatal("by-columns schedules must be distinct")
+	}
+
+	b1 := matrix.RandomDense(rng, 9, 6, 3)
+	m1 := MatMulFor(dbt.NewMatMul(a1, b1, 3))
+	m2 := MatMulFor(dbt.NewMatMul(a2, b1, 3))
+	if m1 != m2 {
+		t.Fatal("same matmul shape should share one compiled schedule")
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run under
+// -race this checks the compile-once path and the reset are safe.
+func TestCacheConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var as []*matrix.Dense
+	for i := 0; i < 8; i++ {
+		as = append(as, matrix.RandomDense(rng, 2+rng.Intn(8), 2+rng.Intn(8), 3))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a := as[(g+i)%len(as)]
+				w := 1 + (g+i)%4
+				sch, err := MatVecFor(dbt.NewMatVec(a, w), false)
+				if err != nil {
+					t.Errorf("MatVecFor: %v", err)
+					return
+				}
+				if sch.W != w {
+					t.Errorf("schedule w=%d, want %d", sch.W, w)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestMatVecExecAgainstBlockRecurrence checks the compiled execution against
+// the package-independent mathematical reference.
+func TestMatVecExecAgainstBlockRecurrence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, w := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(4*w)
+			m := 1 + rng.Intn(4*w)
+			a := matrix.RandomDense(rng, n, m, 5)
+			x := matrix.RandomVector(rng, m, 5)
+			b := matrix.RandomVector(rng, n, 5)
+			tr := dbt.NewMatVec(a, w)
+			sch := mustMatVecFor(t, tr, false)
+			band := make([]float64, sch.Rows*w)
+			tr.PackBand(band)
+			y := make([]float64, sch.Rows)
+			sch.Exec(band, tr.TransformX(x), b.Pad(sch.BLen), y)
+			want := tr.BlockRecurrence(x, b)
+			for k, blk := range want {
+				for i, v := range blk {
+					if y[k*w+i] != v {
+						t.Fatalf("w=%d n=%d m=%d: ȳ_%d[%d] = %g, want %g", w, n, m, k, i, y[k*w+i], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulExecAgainstReferenceRun checks the compiled matmul execution
+// against dbt's block-level reference (including E and feedback chaining).
+func TestMatMulExecAgainstReferenceRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, w := range []int{1, 2, 3} {
+		for trial := 0; trial < 8; trial++ {
+			n := 1 + rng.Intn(3*w)
+			p := 1 + rng.Intn(3*w)
+			m := 1 + rng.Intn(3*w)
+			a := matrix.RandomDense(rng, n, p, 4)
+			b := matrix.RandomDense(rng, p, m, 4)
+			var e *matrix.Dense
+			if trial%2 == 0 {
+				e = matrix.RandomDense(rng, n, m, 4)
+			}
+			tr := dbt.NewMatMul(a, b, w)
+			sch := MatMulFor(tr)
+			aPack := make([]float64, sch.Dim*w)
+			bPack := make([]float64, sch.Dim*w)
+			tr.PackAHat(aPack)
+			tr.PackBHat(bPack)
+			ext := make([]float64, len(sch.ExtInits))
+			for i, ei := range sch.ExtInits {
+				ext[i] = tr.EPieceAt(e, ei.R, ei.S, ei.P, ei.A, ei.B)
+			}
+			o := make([]float64, sch.OLen())
+			sch.Exec(aPack, bPack, ext, o)
+			rec, _ := tr.ReferenceRun(e)
+			for rho := 0; rho < sch.Dim; rho++ {
+				for f := -(w - 1); f <= w-1; f++ {
+					gamma := rho + f
+					if gamma < 0 || gamma >= sch.Dim {
+						continue
+					}
+					k, piece, la, lb := tr.PieceAt(rho, gamma)
+					if got, want := sch.OAt(o, rho, gamma), rec.At(k, piece, la, lb); got != want {
+						t.Fatalf("w=%d %d×%d·%d×%d (E=%v): O[%d][%d] = %g, reference %g",
+							w, n, p, p, m, e != nil, rho, gamma, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedBandsMatchReaders: the packed exporters must agree element for
+// element with the closure readers they replace.
+func TestPackedBandsMatchReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, w := range []int{1, 2, 4} {
+		a := matrix.RandomDense(rng, 3*w+1, 2*w+1, 5)
+		for _, tr := range []dbt.Transform{dbt.NewMatVec(a, w), dbt.NewMatVecByColumns(a, w)} {
+			band := make([]float64, tr.BandRows()*w)
+			tr.PackBand(band)
+			for i := 0; i < tr.BandRows(); i++ {
+				for d := 0; d < w; d++ {
+					want := 0.0
+					if j := i + d; j < tr.BandCols() {
+						want = tr.BandAt(i, j)
+					}
+					if band[i*w+d] != want {
+						t.Fatalf("w=%d row %d diag %d: packed %g, reader %g", w, i, d, band[i*w+d], want)
+					}
+				}
+			}
+		}
+		b := matrix.RandomDense(rng, 2*w+1, 3*w+1, 5)
+		mm := dbt.NewMatMul(a, b, w)
+		aPack := make([]float64, mm.Dim()*w)
+		bPack := make([]float64, mm.Dim()*w)
+		mm.PackAHat(aPack)
+		mm.PackBHat(bPack)
+		for i := 0; i < mm.Dim(); i++ {
+			for d := 0; d < w; d++ {
+				if j := i + d; j < mm.Dim() {
+					if aPack[i*w+d] != mm.AHatAt(i, j) {
+						t.Fatalf("Â w=%d (%d,%d): packed %g, reader %g", w, i, j, aPack[i*w+d], mm.AHatAt(i, j))
+					}
+					if bPack[i*w+d] != mm.BHatAt(j, i) {
+						t.Fatalf("B̂ w=%d (%d,%d): packed %g, reader %g", w, j, i, bPack[i*w+d], mm.BHatAt(j, i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// brokenTransform wraps a valid transform with a failing Validate — the
+// shape an external Transform implementation with a pairing bug would take.
+type brokenTransform struct{ dbt.Transform }
+
+func (brokenTransform) Validate() error { return errBroken }
+
+var errBroken = fmt.Errorf("broken pairing")
+
+// TestInvalidTransformErrors: a transform failing §2 validation must come
+// back as an error from the compiled path (matching the structural path),
+// not a panic.
+func TestInvalidTransformErrors(t *testing.T) {
+	a := matrix.RandomDense(rand.New(rand.NewSource(6)), 6, 6, 3)
+	if _, err := MatVecFor(brokenTransform{dbt.NewMatVec(a, 3)}, false); err != errBroken {
+		t.Fatalf("want errBroken, got %v", err)
+	}
+}
+
+// TestOverlapSplitBoundary: the split must sit at a row band boundary so no
+// feedback chain crosses programs.
+func TestOverlapSplitBoundary(t *testing.T) {
+	for nbar := 2; nbar <= 7; nbar++ {
+		for mbar := 1; mbar <= 7; mbar++ {
+			h := OverlapSplit(nbar, mbar)
+			if h%mbar != 0 {
+				t.Fatalf("split %d not at a chain boundary for n̄=%d m̄=%d", h, nbar, mbar)
+			}
+			if h <= 0 || h >= nbar*mbar {
+				t.Fatalf("split %d outside (0,%d)", h, nbar*mbar)
+			}
+		}
+	}
+}
+
+// TestScratchPool: pooled buffers come back zeroed at the requested length.
+func TestScratchPool(t *testing.T) {
+	p := GetFloats(10)
+	for i := range *p {
+		(*p)[i] = float64(i + 1)
+	}
+	PutFloats(p)
+	q := GetFloats(1000)
+	if len(*q) != 1000 {
+		t.Fatalf("len %d, want 1000", len(*q))
+	}
+	for i, v := range *q {
+		if v != 0 {
+			t.Fatalf("scratch not zeroed at %d: %g", i, v)
+		}
+	}
+	PutFloats(q)
+}

@@ -7,10 +7,13 @@
 //
 // The library lives under internal/: matrix and blockpart are the algebra
 // substrate, dbt holds the transformations, linear and hex are
-// cycle-accurate structural array simulators, analysis the paper's closed
-// forms, baseline/sparse/solve the comparison points and §4 extensions,
-// and core the public solver facade. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results; the
-// benchmarks in bench_test.go regenerate every experiment's headline
-// metrics.
+// cycle-accurate structural array simulators (the verification oracle),
+// schedule the compiled-schedule fast engine (shape-cached event plans
+// executed in O(MACs), bit-identical to the oracle), analysis the paper's
+// closed forms, baseline/sparse/solve the comparison points and §4
+// extensions, and core the public solver facade with engine selection and
+// the SolveBatch worker-pool API. See DESIGN.md for the system inventory
+// and two-engine architecture and EXPERIMENTS.md for paper-vs-measured
+// results; the benchmarks in bench_test.go regenerate every experiment's
+// headline metrics.
 package repro
