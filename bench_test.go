@@ -285,7 +285,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("jacobi", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solve.Jacobi(a, d, 4, 200, 1e-8); err != nil {
+			if _, _, err := solve.Jacobi(a, d, 4, 200, 1e-8, solve.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -293,7 +293,7 @@ func BenchmarkSolvers(b *testing.B) {
 	b.Run("gauss-seidel", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := solve.GaussSeidel(a, d, 4, 200, 1e-8); err != nil {
+			if _, _, err := solve.GaussSeidel(a, d, 4, 200, 1e-8, solve.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -398,7 +398,7 @@ func BenchmarkBlockLU(b *testing.B) {
 	}
 	var stats *solve.LUStats
 	for i := 0; i < b.N; i++ {
-		_, _, st, err := solve.BlockLU(a, w)
+		_, _, st, err := solve.BlockLU(a, w, solve.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -463,6 +463,78 @@ func BenchmarkEngines(b *testing.B) {
 			s := core.NewMatMulSolver(hw)
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Solve(am, bm, core.MatMulOptions{Engine: eng.e}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverEngines compares the two execution engines on the solver
+// workloads the compiled plans cover since the plan/replay generalization:
+// band and dense triangular solve, block LU, and the full direct solve.
+func BenchmarkSolverEngines(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(30))
+	w, n := 4, 96
+	l := matrix.NewBand(n, n, -(w - 1), 0)
+	for i := 0; i < n; i++ {
+		for d := 1; d < w; d++ {
+			if j := i - d; j >= 0 {
+				l.Set(i, j, float64(rng.Intn(5)-2))
+			}
+		}
+		l.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	bb := matrix.RandomVector(rng, n, 3)
+	nd := 32
+	ld := matrix.NewDense(nd, nd)
+	for i := 0; i < nd; i++ {
+		for j := 0; j < i; j++ {
+			ld.Set(i, j, float64(rng.Intn(5)-2))
+		}
+		ld.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	dd := ld.MulVec(matrix.RandomVector(rng, nd, 3), nil)
+	a := matrix.RandomDense(rng, nd, nd, 2)
+	for i := 0; i < nd; i++ {
+		a.Set(i, i, 25)
+	}
+	da := a.MulVec(matrix.RandomVector(rng, nd, 3), nil)
+	for _, eng := range []struct {
+		name string
+		e    core.Engine
+	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
+		b.Run(fmt.Sprintf("trisolve-band/w=%d/n=%d/%s", w, n, eng.name), func(b *testing.B) {
+			b.ReportAllocs()
+			ar := trisolve.New(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := ar.SolveBandEngine(l, bb, eng.e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("trisolve-dense/w=%d/n=%d/%s", w, nd, eng.name), func(b *testing.B) {
+			b.ReportAllocs()
+			s := trisolve.NewSolverEngine(w, eng.e)
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SolveLower(ld, dd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("blocklu/w=%d/n=%d/%s", w, nd, eng.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := solve.BlockLU(a, w, solve.Options{Engine: eng.e}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("solve/w=%d/n=%d/%s", w, nd, eng.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solve.Solve(a, da, w, solve.Options{Engine: eng.e}); err != nil {
 					b.Fatal(err)
 				}
 			}

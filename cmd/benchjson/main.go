@@ -1,8 +1,9 @@
 // Command benchjson records a machine-readable perf snapshot of the
 // headline benchmarks: ns/op, allocs/op, B/op and the paper-comparable
-// metrics (steps, MACs, problems/s) for the two execution engines, the
+// metrics (steps, MACs, problems/s) for the two execution engines across
+// every compiled workload (matvec, matmul, trisolve, LU, full solve), the
 // steady-state compiled execution, and the batch throughput API. It emits
-// BENCH_<date>.json by default, seeding the perf trajectory that future
+// BENCH_<date>.json by default, extending the perf trajectory that future
 // changes are judged against.
 //
 // Usage:
@@ -26,6 +27,8 @@ import (
 	"repro/internal/dbt"
 	"repro/internal/matrix"
 	"repro/internal/schedule"
+	"repro/internal/solve"
+	"repro/internal/trisolve"
 )
 
 // Entry is one benchmark's snapshot.
@@ -109,6 +112,92 @@ func main() {
 					}
 					if i == 0 {
 						b.ReportMetric(float64(res.Stats.T), "steps")
+					}
+				}
+			}),
+		)
+	}
+
+	// Solver workloads (trisolve band/dense, block LU, full solve) on both
+	// engines. Shapes match BenchmarkSolverEngines and sweep E13.
+	tw, tn := 4, 96
+	lb := matrix.NewBand(tn, tn, -(tw - 1), 0)
+	for i := 0; i < tn; i++ {
+		for d := 1; d < tw; d++ {
+			if j := i - d; j >= 0 {
+				lb.Set(i, j, float64(rng.Intn(5)-2))
+			}
+		}
+		lb.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	tb := matrix.RandomVector(rng, tn, 3)
+	nd := 32
+	ld := matrix.NewDense(nd, nd)
+	for i := 0; i < nd; i++ {
+		for j := 0; j < i; j++ {
+			ld.Set(i, j, float64(rng.Intn(5)-2))
+		}
+		ld.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	dd := ld.MulVec(matrix.RandomVector(rng, nd, 3), nil)
+	ag := matrix.RandomDense(rng, nd, nd, 2)
+	for i := 0; i < nd; i++ {
+		ag.Set(i, i, 25)
+	}
+	dg := ag.MulVec(matrix.RandomVector(rng, nd, 3), nil)
+	for _, eng := range []struct {
+		name string
+		e    core.Engine
+	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
+		eng := eng
+		entries = append(entries,
+			bench(fmt.Sprintf("trisolve-band/w=%d/n=%d/%s", tw, tn, eng.name), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				ar := trisolve.New(tw)
+				for i := 0; i < b.N; i++ {
+					res, err := ar.SolveBandEngine(lb, tb, eng.e)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.T), "steps")
+					}
+				}
+			}),
+			bench(fmt.Sprintf("trisolve-dense/w=%d/n=%d/%s", tw, nd, eng.name), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				s := trisolve.NewSolverEngine(tw, eng.e)
+				for i := 0; i < b.N; i++ {
+					res, err := s.SolveLower(ld, dd)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.TriSteps+res.MatVecSteps), "steps")
+					}
+				}
+			}),
+			bench(fmt.Sprintf("blocklu/w=%d/n=%d/%s", tw, nd, eng.name), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, _, st, err := solve.BlockLU(ag, tw, solve.Options{Engine: eng.e})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(st.ArraySteps), "array-steps")
+					}
+				}
+			}),
+			bench(fmt.Sprintf("solve/w=%d/n=%d/%s", tw, nd, eng.name), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, st, err := solve.Solve(ag, dg, tw, solve.Options{Engine: eng.e})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(st.LU.ArraySteps+st.TriSteps+st.MatVecSteps), "array-steps")
 					}
 				}
 			}),

@@ -1,0 +1,165 @@
+// Command doccheck is the documentation gate CI runs on every push: it
+// fails when an internal package lacks a package doc comment, when an
+// exported identifier of the engine-facing packages (internal/core,
+// internal/schedule) lacks a doc comment, or when a relative markdown link
+// in the top-level docs points at a file that does not exist.
+//
+// Usage:
+//
+//	doccheck            # check the repository rooted at the working directory
+//	doccheck -root dir  # check another checkout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// strictPackages are the packages whose every exported identifier must
+// carry a doc comment (the public surface of the two-engine architecture).
+var strictPackages = map[string]bool{"core": true, "schedule": true}
+
+// markdownFiles are the top-level documents whose relative links must
+// resolve.
+var markdownFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "PAPER.md"}
+
+var problems int
+
+func complain(format string, args ...interface{}) {
+	problems++
+	fmt.Fprintf(os.Stderr, "doccheck: "+format+"\n", args...)
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	dirs, err := filepath.Glob(filepath.Join(*root, "internal", "*"))
+	if err != nil {
+		complain("%v", err)
+	}
+	for _, dir := range dirs {
+		if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+			continue
+		}
+		checkPackage(dir)
+	}
+	checkMarkdown(*root)
+
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problems\n", problems)
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all package docs, exported docs and markdown links clean")
+}
+
+// checkPackage parses one package directory and enforces the doc rules.
+func checkPackage(dir string) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		complain("%s: %v", dir, err)
+		return
+	}
+	for name, pkg := range pkgs {
+		hasDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasDoc = true
+			}
+		}
+		if !hasDoc {
+			complain("package %s (%s) has no package doc comment", name, dir)
+		}
+		if strictPackages[name] {
+			for path, f := range pkg.Files {
+				checkExportedDocs(fset, path, f)
+			}
+		}
+	}
+}
+
+// checkExportedDocs requires a doc comment on every exported top-level
+// declaration (a group doc on a const/var/type block covers its members).
+func checkExportedDocs(fset *token.FileSet, path string, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				pos := fset.Position(d.Pos())
+				complain("%s:%d: exported %s %s has no doc comment", path, pos.Line, kindOf(d), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						pos := fset.Position(s.Pos())
+						complain("%s:%d: exported type %s has no doc comment", path, pos.Line, s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							pos := fset.Position(s.Pos())
+							complain("%s:%d: exported %s %s has no doc comment", path, pos.Line, d.Tok, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// kindOf names a func decl for the report: function or method.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// mdLink matches [text](target) markdown links; images and autolinks are
+// out of scope.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkMarkdown verifies that every relative link in the top-level docs
+// resolves to an existing file or directory.
+func checkMarkdown(root string) {
+	for _, name := range markdownFiles {
+		path := filepath.Join(root, name)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				complain("required document %s is missing", name)
+			} else {
+				complain("%s: %v", name, err)
+			}
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(blob), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(target))); err != nil {
+				complain("%s: broken link %q", name, m[1])
+			}
+		}
+	}
+}

@@ -4,11 +4,13 @@
 // iterative and direct solvers, batched solves) on random shapes and
 // compares each result bit-for-bit against host reference arithmetic,
 // while also checking every measured step count against the paper's
-// formulas. Every matvec/matmul case runs through BOTH execution engines —
-// the cycle-accurate structural oracle and the compiled-schedule fast path
-// — and their results and stats are compared bit-for-bit; the batch
-// category additionally fans problems across the worker pool and checks it
-// against serial solves. Exits non-zero on the first mismatch.
+// formulas. Every matvec/matmul case — and, in the solvers category, every
+// triangular solve and block LU — runs through BOTH execution engines: the
+// cycle-accurate structural oracle and the compiled-schedule fast path,
+// with results and stats compared bit-for-bit. The solvers category also
+// exercises the full direct solve and the block-partitioned embedding; the
+// batch category additionally fans problems across the worker pool and
+// checks it against serial solves. Exits non-zero on the first mismatch.
 //
 // Usage:
 //
@@ -268,7 +270,9 @@ func solverCase(rng *rand.Rand, maxw int) {
 	}
 	w := 2 + rng.Intn(maxw-1)
 	n := 1 + rng.Intn(12)
-	// Triangular solve on the dedicated array.
+	// Triangular solve on the dedicated array, on BOTH engines: correct
+	// against reference arithmetic and bit-identical to each other, results
+	// and stats alike.
 	l := matrix.NewDense(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < i; j++ {
@@ -277,7 +281,8 @@ func solverCase(rng *rand.Rand, maxw int) {
 		l.Set(i, i, float64(1+rng.Intn(3)))
 	}
 	want := matrix.RandomVector(rng, n, 3)
-	res, err := trisolve.NewSolver(w).SolveLower(l, l.MulVec(want, nil))
+	d := l.MulVec(want, nil)
+	res, err := trisolve.NewSolverEngine(w, core.EngineCompiled).SolveLower(l, d)
 	if err != nil {
 		fail("trisolve: %v", err)
 		return
@@ -285,17 +290,52 @@ func solverCase(rng *rand.Rand, maxw int) {
 	if !res.X.Equal(want, 1e-8) {
 		fail("trisolve wrong (w=%d n=%d): off %g", w, n, res.X.MaxAbsDiff(want))
 	}
-	// LU with array trailing updates.
+	ores, err := trisolve.NewSolverEngine(w, core.EngineOracle).SolveLower(l, d)
+	if err != nil {
+		fail("trisolve oracle: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(res, ores) {
+		fail("trisolve engines disagree (w=%d n=%d):\ncompiled %+v\noracle   %+v", w, n, res, ores)
+	}
+	// LU with array trailing updates: factors bit-identical across engines.
 	a := matrix.RandomDense(rng, n, n, 2)
 	for i := 0; i < n; i++ {
 		a.Set(i, i, 20)
 	}
-	lf, uf, _, err := solve.BlockLU(a, w)
+	lf, uf, lst, err := solve.BlockLU(a, w, solve.Options{Engine: core.EngineCompiled})
 	if err != nil {
 		fail("lu: %v", err)
 		return
 	}
 	if !lf.Mul(uf).Equal(a, 1e-8) {
 		fail("lu wrong (w=%d n=%d)", w, n)
+	}
+	olf, ouf, olst, err := solve.BlockLU(a, w, solve.Options{Engine: core.EngineOracle})
+	if err != nil {
+		fail("lu oracle: %v", err)
+		return
+	}
+	if !lf.Equal(olf, 0) || !uf.Equal(ouf, 0) || !reflect.DeepEqual(lst, olst) {
+		fail("lu engines disagree (w=%d n=%d)", w, n)
+	}
+	// Full direct solve and the block-partitioned embedding.
+	xb := matrix.RandomVector(rng, n, 3)
+	db := a.MulVec(xb, nil)
+	xs, _, err := solve.Solve(a, db, w, solve.Options{})
+	if err != nil {
+		fail("solve: %v", err)
+		return
+	}
+	if !xs.Equal(xb, 1e-6) {
+		fail("solve wrong (w=%d n=%d): off %g", w, n, xs.MaxAbsDiff(xb))
+	}
+	xp, _, err := solve.BlockPartitionedSolve(a, db, w, solve.Options{})
+	if err != nil {
+		fail("blockpart solve: %v", err)
+		return
+	}
+	if !xp.Equal(xb, 1e-6) {
+		fail("blockpart solve wrong (w=%d n=%d): off %g", w, n, xp.MaxAbsDiff(xb))
 	}
 }

@@ -1,8 +1,9 @@
 // Command sweep regenerates the paper's quantitative results (experiments
-// E1–E12 of DESIGN.md): step-count formulas, utilization asymptotes,
+// E1–E13 of DESIGN.md): step-count formulas, utilization asymptotes,
 // feedback delays, register demands, baseline comparisons, the sparsity
-// ablation, the §4 variants, and the execution-engine comparison — each as
-// a table of paper-predicted vs simulator-measured values.
+// ablation, the §4 variants, and the execution-engine comparisons for the
+// matrix-product and solver workloads — each as a table of paper-predicted
+// vs simulator-measured values.
 //
 // Usage:
 //
@@ -23,6 +24,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/solve"
 	"repro/internal/sparse"
 	"repro/internal/trisolve"
 )
@@ -47,6 +49,7 @@ func main() {
 		{"E10", e10, "sparsity ablation"},
 		{"E11", e11, "transformation variants (§4): by-columns, grouping, lower band, triangular array"},
 		{"E12", e12, "execution engines: compiled-schedule speedup and batch throughput scaling"},
+		{"E13", e13, "solver workloads on both engines: trisolve, LU, full and block-partitioned solve"},
 	}
 	ran := false
 	for _, e := range exps {
@@ -362,6 +365,107 @@ func e12() {
 		}
 		fmt.Printf("   workers=%2d: %10s   %8.0f problems/s   speedup %.2fx\n",
 			workers, el, float64(len(problems))/el.Seconds(), float64(base)/float64(el))
+	}
+}
+
+// e13 measures the solver workloads across engines: every case runs on the
+// cycle-accurate oracle and the compiled-schedule fast path, results are
+// cross-checked bit-for-bit, and wall-clock per solve is reported.
+func e13() {
+	r := rng()
+	w := 4
+
+	// Band triangular solve on the dedicated array.
+	n := 96
+	l := matrix.NewBand(n, n, -(w - 1), 0)
+	for i := 0; i < n; i++ {
+		for d := 1; d < w; d++ {
+			if j := i - d; j >= 0 {
+				l.Set(i, j, float64(r.Intn(5)-2))
+			}
+		}
+		l.Set(i, i, float64(1+r.Intn(3)))
+	}
+	bb := matrix.RandomVector(r, n, 3)
+
+	// Dense solver inputs (lower triangular and general).
+	nd := 32
+	ld := matrix.NewDense(nd, nd)
+	for i := 0; i < nd; i++ {
+		for j := 0; j < i; j++ {
+			ld.Set(i, j, float64(r.Intn(5)-2))
+		}
+		ld.Set(i, i, float64(1+r.Intn(3)))
+	}
+	dd := ld.MulVec(matrix.RandomVector(r, nd, 3), nil)
+	a := matrix.RandomDense(r, nd, nd, 2)
+	for i := 0; i < nd; i++ {
+		a.Set(i, i, 25)
+	}
+	da := a.MulVec(matrix.RandomVector(r, nd, 3), nil)
+
+	fmt.Println("  every case solved on both engines, results bit-identical:")
+	fmt.Println("   workload                  oracle      compiled   speedup")
+	for _, c := range []struct {
+		name string
+		run  func(eng core.Engine) (matrix.Vector, error)
+	}{
+		{fmt.Sprintf("trisolve band n=%d", n), func(eng core.Engine) (matrix.Vector, error) {
+			res, err := trisolve.New(w).SolveBandEngine(l, bb, eng)
+			if err != nil {
+				return nil, err
+			}
+			return res.X, nil
+		}},
+		{fmt.Sprintf("trisolve dense n=%d", nd), func(eng core.Engine) (matrix.Vector, error) {
+			res, err := trisolve.NewSolverEngine(w, eng).SolveLower(ld, dd)
+			if err != nil {
+				return nil, err
+			}
+			return res.X, nil
+		}},
+		{fmt.Sprintf("block LU n=%d", nd), func(eng core.Engine) (matrix.Vector, error) {
+			lf, uf, _, err := solve.BlockLU(a, w, solve.Options{Engine: eng})
+			if err != nil {
+				return nil, err
+			}
+			return append(matrix.Vector(nil), append(lf.RawRow(nd-1), uf.RawRow(0)...)...), nil
+		}},
+		{fmt.Sprintf("full solve n=%d", nd), func(eng core.Engine) (matrix.Vector, error) {
+			x, _, err := solve.Solve(a, da, w, solve.Options{Engine: eng})
+			return x, err
+		}},
+		{fmt.Sprintf("blockpart solve n=%d", nd-3), func(eng core.Engine) (matrix.Vector, error) {
+			x, _, err := solve.BlockPartitionedSolve(a.Slice(0, nd-3, 0, nd-3), da[:nd-3], w, solve.Options{Engine: eng})
+			return x, err
+		}},
+	} {
+		var res [2]matrix.Vector
+		var times [2]time.Duration
+		for ei, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+			const reps = 20
+			x, err := c.run(eng) // warm up plan cache and allocator
+			check(err)
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				x, err = c.run(eng)
+				check(err)
+			}
+			times[ei] = time.Since(start) / reps
+			res[ei] = x
+		}
+		match := "bit-identical"
+		if !res[0].Equal(res[1], 0) {
+			match = "MISMATCH"
+		}
+		fmt.Printf("   %-24s %9s  %9s   %5.1fx   %s\n",
+			c.name, times[0], times[1], float64(times[0])/float64(times[1]), match)
+		if match == "MISMATCH" {
+			// Never expected: the equivalence suites and soak enforce this
+			// continuously. Abort after printing the offending row.
+			fmt.Fprintf(os.Stderr, "sweep: cross-engine mismatch on %s\n", c.name)
+			os.Exit(1)
+		}
 	}
 }
 

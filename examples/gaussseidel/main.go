@@ -38,11 +38,11 @@ func main() {
 		d[i] = h * h * math.Sin(math.Pi*xi)
 	}
 
-	gsX, gsStats, err := solve.GaussSeidel(a, d, arrayW, 10000, tol)
+	gsX, gsStats, err := solve.GaussSeidel(a, d, arrayW, 10000, tol, solve.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	jX, jStats, err := solve.Jacobi(a, d, arrayW, 10000, tol)
+	jX, jStats, err := solve.Jacobi(a, d, arrayW, 10000, tol, solve.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

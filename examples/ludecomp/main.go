@@ -42,7 +42,7 @@ func main() {
 	d := a.MulVec(want, nil)
 
 	// 1. Factor A = L·U with trailing updates on the hexagonal array.
-	l, u, luStats, err := solve.BlockLU(a, arrayW)
+	l, u, luStats, err := solve.BlockLU(a, arrayW, solve.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func main() {
 	fmt.Printf("  solution error vs truth: %.1e\n", bw.X.MaxAbsDiff(want))
 
 	// 3. Full inverse (U⁻¹·L⁻¹), §4's last list item.
-	inv, invStats, err := solve.Inverse(a, arrayW)
+	inv, invStats, err := solve.Inverse(a, arrayW, solve.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

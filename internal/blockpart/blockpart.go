@@ -55,6 +55,28 @@ func Partition(a *matrix.Dense, w int) *Grid {
 // Padded returns the zero-padded matrix (n̄w × m̄w).
 func (g *Grid) Padded() *matrix.Dense { return g.padded }
 
+// PaddedIdentity returns a copy of the padded matrix with ones on the main
+// diagonal of the padding range [min(OrigRows, OrigCols), n̄w). Zero
+// padding makes a square matrix singular; identity padding keeps a
+// nonsingular system nonsingular and leaves the first OrigRows solution
+// components unchanged — the embedding the block-partitioned solvers use
+// to run ragged problems on exact block multiples.
+func (g *Grid) PaddedIdentity() *matrix.Dense {
+	out := g.padded.Clone()
+	lo := g.OrigRows
+	if g.OrigCols < lo {
+		lo = g.OrigCols
+	}
+	hi := out.Rows()
+	if out.Cols() < hi {
+		hi = out.Cols()
+	}
+	for i := lo; i < hi; i++ {
+		out.Set(i, i, 1)
+	}
+	return out
+}
+
 // Block returns a copy of block A_rs (w×w).
 func (g *Grid) Block(r, s int) *matrix.Dense {
 	g.check(r, s)

@@ -45,7 +45,7 @@ func (s *MatVecSolver) SolveBatch(problems []MatVecProblem) ([]*MatVecResult, er
 // SolveBatchWorkers is SolveBatch with an explicit worker count (values < 1
 // mean one worker). Useful for throughput scaling measurements.
 func (s *MatVecSolver) SolveBatchWorkers(problems []MatVecProblem, workers int) ([]*MatVecResult, error) {
-	return solveBatch(problems, workers, func(p MatVecProblem) (*MatVecResult, error) {
+	return Batch(problems, workers, func(p MatVecProblem) (*MatVecResult, error) {
 		return s.Solve(p.A, p.X, p.B, p.Opts)
 	})
 }
@@ -61,7 +61,7 @@ func (s *MatMulSolver) SolveBatch(problems []MatMulProblem) ([]*MatMulResult, er
 // SolveBatchWorkers is SolveBatch with an explicit worker count (values < 1
 // mean one worker).
 func (s *MatMulSolver) SolveBatchWorkers(problems []MatMulProblem, workers int) ([]*MatMulResult, error) {
-	return solveBatch(problems, workers, func(p MatMulProblem) (*MatMulResult, error) {
+	return Batch(problems, workers, func(p MatMulProblem) (*MatMulResult, error) {
 		return s.Solve(p.A, p.B, p.Opts)
 	})
 }
@@ -79,9 +79,14 @@ func WorkerLadder(max int) []int {
 	return counts
 }
 
-// solveBatch fans items out to a pool of workers pulling from a shared
-// atomic cursor (work-stealing by index, no channels on the hot path).
-func solveBatch[P, R any](items []P, workers int, solve func(P) (R, error)) ([]R, error) {
+// Batch fans items out to a pool of workers pulling from a shared atomic
+// cursor (work-stealing by index, no channels on the hot path). Results
+// come back aligned with items; on error the failing entries are zero and
+// the first error (annotated with its index) is returned alongside the
+// successful results. It is the worker-pool substrate behind every
+// SolveBatch in the repository — the solver packages built on core
+// (trisolve, solve) reuse it for their own batch APIs.
+func Batch[P, R any](items []P, workers int, solve func(P) (R, error)) ([]R, error) {
 	results := make([]R, len(items))
 	errs := make([]error, len(items))
 	if workers < 1 {

@@ -127,7 +127,7 @@ func (s *MatVecSolver) Solve(a *matrix.Dense, x, b matrix.Vector, opts MatVecOpt
 	if opts.Overlap && nbar < 2 {
 		return nil, fmt.Errorf("core: overlap needs n̄ ≥ 2, have %d (use two independent problems instead)", nbar)
 	}
-	useCompiled, err := opts.Engine.resolve(opts.Trace)
+	useCompiled, err := opts.Engine.Resolve(opts.Trace)
 	if err != nil {
 		return nil, err
 	}

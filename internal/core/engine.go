@@ -30,6 +30,7 @@ const (
 	EngineOracle
 )
 
+// String names the engine for logs and error messages.
 func (e Engine) String() string {
 	switch e {
 	case EngineAuto:
@@ -42,8 +43,12 @@ func (e Engine) String() string {
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
-// resolve picks the engine for a run, given whether a trace was requested.
-func (e Engine) resolve(trace bool) (useCompiled bool, err error) {
+// Resolve picks the engine for a run, given whether a boundary trace was
+// requested: it reports whether the compiled engine should be used, and
+// errors when the request is unsatisfiable (EngineCompiled with a trace, or
+// an unknown engine value). The solver packages built on core (trisolve,
+// solve) use it to honor the same Engine contract.
+func (e Engine) Resolve(trace bool) (useCompiled bool, err error) {
 	switch e {
 	case EngineAuto:
 		return !trace, nil

@@ -79,7 +79,7 @@ func (s *MatMulSolver) Solve(a, b *matrix.Dense, opts MatMulOptions) (*MatMulRes
 		return nil, fmt.Errorf("core: E is %d×%d, want %d×%d", opts.E.Rows(), opts.E.Cols(), a.Rows(), b.Cols())
 	}
 	t := dbt.NewMatMul(a, b, s.w)
-	useCompiled, err := opts.Engine.resolve(opts.Trace)
+	useCompiled, err := opts.Engine.Resolve(opts.Trace)
 	if err != nil {
 		return nil, err
 	}

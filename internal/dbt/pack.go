@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/blockpart"
+	"repro/internal/matrix"
 )
 
 // This file exports the transformed bands as flat packed arrays for the
@@ -18,6 +19,8 @@ import (
 //     d ∈ [0, w). Entries past the band's column count are zero.
 //   - Lower bands (B̂ of matmul), packed by column so the matmul inner loop
 //     over κ is stride-1 in both operands: dst[j*w+d] = band[j+d][j].
+//   - Triangular lower bands (L of the solver array), packed by row over
+//     descending column index: dst[i*w+d] = band[i][i−d].
 
 // checkPack validates a destination buffer of n rows of w entries.
 func checkPack(dst []float64, rows, w int) {
@@ -74,6 +77,27 @@ func (t *MatMul) PackBHat(dst []float64) {
 		for d := range row {
 			if i := j + d; i < n {
 				row[d] = t.BHatAt(i, j)
+			} else {
+				row[d] = 0
+			}
+		}
+	}
+}
+
+// PackTriBand writes the lower triangular band l (diagonals −(w−1)..0, the
+// solver-array operand shape) into dst (len n·w) in triangular packed
+// layout: dst[i*w+d] = l[i][i−d], zero where i−d < 0 or the diagonal is
+// outside l's stored band. Row i's slot 0 is the main-diagonal divisor; the
+// compiled trisolve plan (schedule.TriSolve) consumes slots w−1..1 in
+// descending order, matching the solver array's leftward y movement.
+func PackTriBand(l *matrix.Band, w int, dst []float64) {
+	n := l.Rows()
+	checkPack(dst, n, w)
+	for i := 0; i < n; i++ {
+		row := dst[i*w : (i+1)*w]
+		for d := range row {
+			if j := i - d; j >= 0 {
+				row[d] = l.At(i, j)
 			} else {
 				row[d] = 0
 			}

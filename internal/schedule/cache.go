@@ -2,19 +2,12 @@ package schedule
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/dbt"
 )
 
-// Schedules depend only on problem shape, and the sweep/soak/bench
-// harnesses resolve the same shapes thousands of times — so compiled
-// schedules are cached process-wide in concurrency-safe maps keyed by
-// shape. The cache is bounded: distinct shapes are few in practice, but a
-// pathological workload cycling through unbounded shapes would otherwise
-// grow it forever, so past maxCached entries the map is dropped and rebuilt
-// (a full re-compile is cheap relative to the workload that caused it).
-const maxCached = 4096
+// One shape-keyed plan cache per workload (see plan.go for the bounding and
+// concurrency story).
 
 type matvecKey struct {
 	w, nbar, mbar int
@@ -26,17 +19,15 @@ type matmulKey struct {
 	w, nbar, pbar, mbar int
 }
 
-var (
-	matvecCache atomic.Pointer[sync.Map] // matvecKey → *MatVec
-	matvecCount atomic.Int64
-	matmulCache atomic.Pointer[sync.Map] // matmulKey → *MatMul
-	matmulCount atomic.Int64
-)
-
-func init() {
-	matvecCache.Store(&sync.Map{})
-	matmulCache.Store(&sync.Map{})
+type trisolveKey struct {
+	w, n int
 }
+
+var (
+	matvecCache   = newPlanCache[matvecKey, *MatVec]()
+	matmulCache   = newPlanCache[matmulKey, *MatMul]()
+	trisolveCache = newPlanCache[trisolveKey, *TriSolve]()
+)
 
 // MatVecFor returns the compiled schedule for the shape of t (with or
 // without the overlap split), reusing a cached schedule when the shape has
@@ -56,38 +47,23 @@ func MatVecFor(t dbt.Transform, overlap bool) (*MatVec, error) {
 	}
 	w, nbar, mbar := t.Shape()
 	key := matvecKey{w: w, nbar: nbar, mbar: mbar, variant: variant, overlap: overlap}
-	cache := matvecCache.Load()
-	if s, ok := cache.Load(key); ok {
-		return s.(*MatVec), nil
-	}
-	s, err := compileMatVec(t, overlap)
-	if err != nil {
-		return nil, err
-	}
-	if _, loaded := cache.LoadOrStore(key, s); !loaded {
-		if matvecCount.Add(1) > maxCached {
-			matvecCache.Store(&sync.Map{})
-			matvecCount.Store(0)
-		}
-	}
-	return s, nil
+	return matvecCache.get(key, func() (*MatVec, error) { return compileMatVec(t, overlap) })
 }
 
 // MatMulFor returns the compiled schedule for the shape of t, reusing a
 // cached schedule when possible.
 func MatMulFor(t *dbt.MatMul) *MatMul {
 	key := matmulKey{w: t.W, nbar: t.NBar, pbar: t.PBar, mbar: t.MBar}
-	cache := matmulCache.Load()
-	if s, ok := cache.Load(key); ok {
-		return s.(*MatMul)
-	}
-	s := compileMatMul(t)
-	if _, loaded := cache.LoadOrStore(key, s); !loaded {
-		if matmulCount.Add(1) > maxCached {
-			matmulCache.Store(&sync.Map{})
-			matmulCount.Store(0)
-		}
-	}
+	s, _ := matmulCache.get(key, func() (*MatMul, error) { return compileMatMul(t), nil })
+	return s
+}
+
+// TriSolveFor returns the compiled schedule of a band triangular solve of
+// dimension n on a w-PE solver array, reusing a cached schedule when
+// possible.
+func TriSolveFor(n, w int) *TriSolve {
+	key := trisolveKey{w: w, n: n}
+	s, _ := trisolveCache.get(key, func() (*TriSolve, error) { return compileTriSolve(n, w), nil })
 	return s
 }
 

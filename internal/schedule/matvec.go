@@ -1,27 +1,32 @@
 // Package schedule is the compiled-schedule execution engine: the fast
-// counterpart of the cycle-accurate structural simulators in internal/linear
-// and internal/hex.
+// counterpart of the cycle-accurate structural simulators in
+// internal/linear, internal/hex and internal/trisolve.
 //
 // The structural simulators advance a global clock and re-discover, every
 // cycle, which boundary values enter, which PEs hold a full operand set and
-// which registers shift — O(T·w) (linear) or O(T·w²) (hex) interpretive work
-// with closure calls per coefficient. But the complete event schedule of a
-// DBT problem is a pure function of its *shape* (w, n̄, m̄ [, p̄], options):
-// which band row meets which x̄ element, in which order a result position
-// accumulates its κ terms, where every feedback edge lands, and every
-// emit/inject cycle are all known before any data arrives. This package
-// compiles that schedule once per shape — dense index arrays, analytic
-// cycle stamps, feedback topology — caches it in a concurrency-safe map,
-// and executes it in O(MACs) with zero allocations and no liveness checks
-// in the hot loop.
+// which registers shift — O(T·w) (linear, trisolve) or O(T·w²) (hex)
+// interpretive work with closure calls per coefficient. But the complete
+// event schedule of a systolic workload is a pure function of its *shape*
+// ((w, n̄, m̄, options) for matvec, (w, n̄, p̄, m̄) for matmul, (w, n) for
+// the triangular solve): which band row meets which stream element, in
+// which order a result position accumulates its terms, where every
+// feedback edge lands, and every emit/inject cycle are all known before
+// any data arrives. This package is organized as a workload-agnostic
+// plan/replay layer (see plan.go): it compiles each workload's schedule
+// once per shape — dense index arrays, analytic cycle stamps, feedback
+// topology — caches it in a generic bounded concurrency-safe map, and
+// replays it in O(work) with zero allocations and no liveness checks in
+// the hot loop. Workloads whose schedule depends on data rather than shape
+// (the sparse matvec) are gated with Unsupported instead of compiled.
 //
 // Execution is bit-identical to the structural engines: per result element
 // the multiply–accumulates run in exactly the cycle order the array would
-// realize (increasing diagonal d for the linear array, increasing κ for the
-// hexagonal array), starting from the same initialization value, so every
-// float64 rounding step matches. The structural engines remain the
-// verification oracle; internal/core cross-checks the two engines on
-// randomized shapes.
+// realize (increasing diagonal d for the linear array, increasing κ for
+// the hexagonal array, descending diagonal for the triangular solver),
+// starting from the same initialization value, so every float64 rounding
+// step matches. The structural engines remain the verification oracle;
+// internal/core, internal/trisolve and internal/solve cross-check the two
+// engines on randomized shapes.
 package schedule
 
 import (

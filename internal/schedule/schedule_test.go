@@ -1,8 +1,10 @@
 package schedule
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -228,6 +230,104 @@ func TestOverlapSplitBoundary(t *testing.T) {
 				t.Fatalf("split %d outside (0,%d)", h, nbar*mbar)
 			}
 		}
+	}
+}
+
+// TestTriSolvePlan: the compiled trisolve plan's analytic accounting (T,
+// MACs, per-PE activity) and cache identity.
+func TestTriSolvePlan(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5, 8} {
+		for _, n := range []int{0, 1, 2, w, 2*w + 1, 17} {
+			s := TriSolveFor(n, w)
+			if s.W != w || s.N != n {
+				t.Fatalf("shape (%d,%d) compiled as (%d,%d)", n, w, s.N, s.W)
+			}
+			if n == 0 {
+				if s.T != 0 || s.MACs != 0 || s.Divisions != 0 {
+					t.Fatalf("n=0: non-empty plan %+v", s)
+				}
+				continue
+			}
+			if want := 2*n + w - 2; s.T != want {
+				t.Fatalf("n=%d w=%d: T=%d, want %d", n, w, s.T, want)
+			}
+			if s.Divisions != n {
+				t.Fatalf("n=%d w=%d: divisions %d", n, w, s.Divisions)
+			}
+			act := s.Activity()
+			if act.MACs[0] != n || act.Cycles != s.T {
+				t.Fatalf("n=%d w=%d: activity %+v", n, w, act)
+			}
+			total := 0
+			for d := 1; d < w; d++ {
+				want := n - d
+				if want < 0 {
+					want = 0
+				}
+				if act.MACs[d] != want {
+					t.Fatalf("n=%d w=%d PE %d: %d MACs, want %d", n, w, d, act.MACs[d], want)
+				}
+				total += act.MACs[d]
+			}
+			if s.MACs != total {
+				t.Fatalf("n=%d w=%d: MACs %d vs per-PE sum %d", n, w, s.MACs, total)
+			}
+			if s.Utilization() <= 0 || s.Utilization() > 1 {
+				t.Fatalf("n=%d w=%d: utilization %g out of range", n, w, s.Utilization())
+			}
+			if TriSolveFor(n, w) != s {
+				t.Fatalf("n=%d w=%d: same shape should share one compiled plan", n, w)
+			}
+		}
+	}
+}
+
+// TestTriSolveExecAgainstSubstitution checks the compiled execution against
+// plain forward substitution (exact: small-integer data).
+func TestTriSolveExecAgainstSubstitution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 8; trial++ {
+			n := 1 + rng.Intn(4*w)
+			l := matrix.NewBand(n, n, -(w - 1), 0)
+			for i := 0; i < n; i++ {
+				for d := 1; d < w; d++ {
+					if j := i - d; j >= 0 {
+						l.Set(i, j, float64(rng.Intn(5)-2))
+					}
+				}
+				l.Set(i, i, float64(1+rng.Intn(3)))
+			}
+			b := matrix.RandomVector(rng, n, 5)
+			s := TriSolveFor(n, w)
+			lband := make([]float64, n*w)
+			dbt.PackTriBand(l, w, lband)
+			x := make([]float64, n)
+			s.Exec(lband, b, x)
+			for i := 0; i < n; i++ {
+				v := 0.0
+				for d := w - 1; d >= 1; d-- {
+					if j := i - d; j >= 0 {
+						v += l.At(i, j) * x[j]
+					}
+				}
+				if want := (b[i] - v) / l.At(i, i); x[i] != want {
+					t.Fatalf("w=%d n=%d: x[%d] = %g, want %g", w, n, i, x[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestUnsupportedWorkloadError: Unsupported errors must match
+// ErrUnsupported via errors.Is and carry the workload name.
+func TestUnsupportedWorkloadError(t *testing.T) {
+	err := Unsupported(WorkloadSparseMatVec, "pattern-dependent schedule")
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("errors.Is(ErrUnsupported) = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), string(WorkloadSparseMatVec)) {
+		t.Fatalf("error %q does not name the workload", err)
 	}
 }
 

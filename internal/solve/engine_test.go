@@ -1,0 +1,190 @@
+package solve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Every solver in this package issues its array passes through core, so
+// forcing the two engines must produce bit-identical factors, solutions
+// and statistics. These tests sweep the solver workloads — LU, full solve,
+// block-partitioned solve, iterative sweeps — through both engines.
+
+func engines() []core.Engine { return []core.Engine{core.EngineOracle, core.EngineCompiled} }
+
+// TestBlockLUEngineEquiv: L, U and stats must be bit-identical across
+// engines (ArraySteps included — the compiled plan reports the oracle's T).
+func TestBlockLUEngineEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for _, w := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, w, 2*w + 1, 3 * w} {
+			a, _ := diagonallyDominant(rng, n)
+			l0, u0, st0, err := BlockLU(a, w, Options{Engine: core.EngineOracle})
+			if err != nil {
+				t.Fatalf("oracle BlockLU (w=%d n=%d): %v", w, n, err)
+			}
+			l1, u1, st1, err := BlockLU(a, w, Options{Engine: core.EngineCompiled})
+			if err != nil {
+				t.Fatalf("compiled BlockLU (w=%d n=%d): %v", w, n, err)
+			}
+			if !l0.Equal(l1, 0) || !u0.Equal(u1, 0) {
+				t.Fatalf("w=%d n=%d: engines disagree on factors", w, n)
+			}
+			if !reflect.DeepEqual(st0, st1) {
+				t.Fatalf("w=%d n=%d: stats differ\ncompiled %+v\noracle   %+v", w, n, st1, st0)
+			}
+		}
+	}
+}
+
+// TestSolveDirect: the full direct solve (LU + two in-array triangular
+// solves) is exact-to-tolerance and engine-independent bit for bit.
+func TestSolveDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	for _, w := range []int{2, 3, 4} {
+		for _, n := range []int{1, w, 2*w + 1, 14} {
+			a, _ := diagonallyDominant(rng, n)
+			want := matrix.RandomVector(rng, n, 4)
+			d := a.MulVec(want, nil)
+			var results []matrix.Vector
+			var stats []*SolveStats
+			for _, eng := range engines() {
+				x, st, err := Solve(a, d, w, Options{Engine: eng})
+				if err != nil {
+					t.Fatalf("%v Solve (w=%d n=%d): %v", eng, w, n, err)
+				}
+				if !x.Equal(want, 1e-7) {
+					t.Errorf("%v w=%d n=%d: wrong solution (off %g)", eng, w, n, x.MaxAbsDiff(want))
+				}
+				if st.TriPasses == 0 {
+					t.Errorf("%v w=%d n=%d: no triangular array passes recorded", eng, w, n)
+				}
+				results = append(results, x)
+				stats = append(stats, st)
+			}
+			if !results[0].Equal(results[1], 0) {
+				t.Fatalf("w=%d n=%d: engines disagree on x", w, n)
+			}
+			if !reflect.DeepEqual(stats[0], stats[1]) {
+				t.Fatalf("w=%d n=%d: stats differ\noracle   %+v\ncompiled %+v", w, n, stats[0], stats[1])
+			}
+		}
+	}
+}
+
+// TestBlockPartitionedSolve: the identity-padded block embedding solves
+// ragged shapes exactly and matches Solve bit for bit on block multiples.
+func TestBlockPartitionedSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for _, w := range []int{2, 3, 4} {
+		for _, n := range []int{1, w - 1, w, w + 1, 2*w + 1, 3 * w} {
+			if n < 1 {
+				continue
+			}
+			a, _ := diagonallyDominant(rng, n)
+			want := matrix.RandomVector(rng, n, 4)
+			d := a.MulVec(want, nil)
+			x, stats, err := BlockPartitionedSolve(a, d, w, Options{})
+			if err != nil {
+				t.Fatalf("w=%d n=%d: %v", w, n, err)
+			}
+			if !x.Equal(want, 1e-7) {
+				t.Errorf("w=%d n=%d: wrong solution (off %g)", w, n, x.MaxAbsDiff(want))
+			}
+			if stats.Residual > 1e-7 {
+				t.Errorf("w=%d n=%d: residual %g", w, n, stats.Residual)
+			}
+			if n%w == 0 {
+				direct, _, err := Solve(a, d, w, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !x.Equal(direct, 0) {
+					t.Errorf("w=%d n=%d: block-partitioned differs from direct on an aligned shape", w, n)
+				}
+			}
+		}
+	}
+	if _, _, err := BlockPartitionedSolve(matrix.NewDense(2, 3), make(matrix.Vector, 2), 2, Options{}); err == nil {
+		t.Error("expected non-square error")
+	}
+	if _, _, err := BlockPartitionedSolve(matrix.NewDense(2, 2), make(matrix.Vector, 3), 2, Options{}); err == nil {
+		t.Error("expected rhs length error")
+	}
+}
+
+// TestIterativeEngineEquiv: Jacobi and Gauss–Seidel sweeps are bit-identical
+// across engines (same iterates, same sweep counts, same residuals).
+func TestIterativeEngineEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(304))
+	a, d := diagonallyDominant(rng, 11)
+	for _, method := range []struct {
+		name string
+		run  func(eng core.Engine) (matrix.Vector, *IterStats, error)
+	}{
+		{"jacobi", func(eng core.Engine) (matrix.Vector, *IterStats, error) {
+			return Jacobi(a, d, 3, 300, 1e-10, Options{Engine: eng})
+		}},
+		{"gauss-seidel", func(eng core.Engine) (matrix.Vector, *IterStats, error) {
+			return GaussSeidel(a, d, 3, 300, 1e-10, Options{Engine: eng})
+		}},
+	} {
+		x0, st0, err := method.run(core.EngineOracle)
+		if err != nil {
+			t.Fatalf("%s oracle: %v", method.name, err)
+		}
+		x1, st1, err := method.run(core.EngineCompiled)
+		if err != nil {
+			t.Fatalf("%s compiled: %v", method.name, err)
+		}
+		if !x0.Equal(x1, 0) || !reflect.DeepEqual(st0, st1) {
+			t.Fatalf("%s: engines disagree (sweeps %d vs %d, residual %g vs %g)",
+				method.name, st0.Sweeps, st1.Sweeps, st0.Residual, st1.Residual)
+		}
+	}
+}
+
+// TestSolveBatchMatchesSerial: the batch API returns exactly what serial
+// Solve calls return, across worker counts.
+func TestSolveBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	w := 3
+	var problems []Problem
+	for i := 0; i < 10; i++ {
+		n := 1 + rng.Intn(12)
+		a, _ := diagonallyDominant(rng, n)
+		problems = append(problems, Problem{A: a, D: matrix.RandomVector(rng, n, 5)})
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := SolveBatch(problems, w, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, p := range problems {
+			want, stats, err := Solve(p.A, p.D, w, p.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got[i].X.Equal(want, 0) {
+				t.Fatalf("workers=%d problem %d: batch X differs from serial", workers, i)
+			}
+			if !reflect.DeepEqual(got[i].Stats, stats) {
+				t.Fatalf("workers=%d problem %d: batch stats differ", workers, i)
+			}
+		}
+	}
+	// Error propagation: a singular problem fails with its index while
+	// siblings still return.
+	bad := Problem{A: matrix.NewDense(2, 2), D: make(matrix.Vector, 2)}
+	res, err := SolveBatch([]Problem{problems[0], bad}, w, 2)
+	if err == nil {
+		t.Fatal("want error for the singular problem")
+	}
+	if res[0] == nil || res[1] != nil {
+		t.Fatalf("batch error handling: res[0]=%v res[1]=%v", res[0], res[1])
+	}
+}

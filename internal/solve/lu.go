@@ -29,7 +29,7 @@ type LUStats struct {
 // The paper's conclusions (§4) list L-U decomposition among the problems
 // the methodology solves; the w×w diagonal-block factorizations and panel
 // substitutions stay on the host (see DESIGN.md §4).
-func BlockLU(a *matrix.Dense, w int) (l, u *matrix.Dense, stats *LUStats, err error) {
+func BlockLU(a *matrix.Dense, w int, opts Options) (l, u *matrix.Dense, stats *LUStats, err error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, nil, nil, fmt.Errorf("solve: BlockLU needs a square matrix, got %d×%d", n, a.Cols())
@@ -102,7 +102,7 @@ func BlockLU(a *matrix.Dense, w int) (l, u *matrix.Dense, stats *LUStats, err er
 			}
 		}
 		res, err := solver.Solve(negL, u.Slice(k0, k1, k1, n),
-			core.MatMulOptions{E: work.Slice(k1, n, k1, n)})
+			core.MatMulOptions{E: work.Slice(k1, n, k1, n), Engine: opts.Engine})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -121,7 +121,7 @@ func BlockLU(a *matrix.Dense, w int) (l, u *matrix.Dense, stats *LUStats, err er
 // X_kk = L_kk⁻¹ on the host (w×w), and each off-diagonal block
 // X_ik = −L_ii⁻¹·(Σ_j L_ij·X_jk) with the inner products run as
 // hexagonal-array passes (C = L_panel·X_panel + E accumulations).
-func LowerTriangularInverse(lo *matrix.Dense, w int) (*matrix.Dense, *LUStats, error) {
+func LowerTriangularInverse(lo *matrix.Dense, w int, opts Options) (*matrix.Dense, *LUStats, error) {
 	n := lo.Rows()
 	if lo.Cols() != n {
 		return nil, nil, fmt.Errorf("solve: inverse needs a square matrix, got %d×%d", n, lo.Cols())
@@ -166,7 +166,7 @@ func LowerTriangularInverse(lo *matrix.Dense, w int) (*matrix.Dense, *LUStats, e
 			// S = Σ_j L[bi, j]·X[j, bk] over k ≤ j < i via one array pass:
 			// the row panel L[bi, bk..bi) times the column panel X[bk..bi, bk].
 			res, err := solver.Solve(lo.Slice(li0, li1, lk0, li0), x.Slice(lk0, li0, lk0, lk1),
-				core.MatMulOptions{})
+				core.MatMulOptions{Engine: opts.Engine})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -181,7 +181,7 @@ func LowerTriangularInverse(lo *matrix.Dense, w int) (*matrix.Dense, *LUStats, e
 					neg.Set(i, j, -diagInv.At(i, j))
 				}
 			}
-			res2, err := solver.Solve(neg, res.C, core.MatMulOptions{})
+			res2, err := solver.Solve(neg, res.C, core.MatMulOptions{Engine: opts.Engine})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -201,21 +201,21 @@ func LowerTriangularInverse(lo *matrix.Dense, w int) (*matrix.Dense, *LUStats, e
 // factorization: both triangular inverses use LowerTriangularInverse (U via
 // transposition) and the final product is one more array pass. This closes
 // the §4 list ("inverses of triangular and dense matrices").
-func Inverse(a *matrix.Dense, w int) (*matrix.Dense, *LUStats, error) {
-	l, u, st, err := BlockLU(a, w)
+func Inverse(a *matrix.Dense, w int, opts Options) (*matrix.Dense, *LUStats, error) {
+	l, u, st, err := BlockLU(a, w, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	linv, st2, err := LowerTriangularInverse(l, w)
+	linv, st2, err := LowerTriangularInverse(l, w, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	uinvT, st3, err := LowerTriangularInverse(u.Transpose(), w)
+	uinvT, st3, err := LowerTriangularInverse(u.Transpose(), w, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	solver := core.NewMatMulSolver(w)
-	res, err := solver.Solve(uinvT.Transpose(), linv, core.MatMulOptions{})
+	res, err := solver.Solve(uinvT.Transpose(), linv, core.MatMulOptions{Engine: opts.Engine})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,7 +13,7 @@ func TestBlockLUFactors(t *testing.T) {
 	for _, n := range []int{1, 3, 6, 10, 13} {
 		for _, w := range []int{2, 3, 4} {
 			a, _ := diagonallyDominant(rng, n)
-			l, u, stats, err := BlockLU(a, w)
+			l, u, stats, err := BlockLU(a, w, Options{})
 			if err != nil {
 				t.Fatalf("n=%d w=%d: %v", n, w, err)
 			}
@@ -48,10 +48,10 @@ func TestBlockLUZeroPivot(t *testing.T) {
 		{0, 1},
 		{1, 0},
 	})
-	if _, _, _, err := BlockLU(a, 2); err == nil {
+	if _, _, _, err := BlockLU(a, 2, Options{}); err == nil {
 		t.Error("expected zero-pivot error")
 	}
-	if _, _, _, err := BlockLU(matrix.NewDense(2, 3), 2); err == nil {
+	if _, _, _, err := BlockLU(matrix.NewDense(2, 3), 2, Options{}); err == nil {
 		t.Error("expected non-square error")
 	}
 }
@@ -67,7 +67,7 @@ func TestLowerTriangularInverse(t *testing.T) {
 				}
 				lo.Set(i, i, float64(1+rng.Intn(3)))
 			}
-			inv, stats, err := LowerTriangularInverse(lo, w)
+			inv, stats, err := LowerTriangularInverse(lo, w, Options{})
 			if err != nil {
 				t.Fatalf("n=%d w=%d: %v", n, w, err)
 			}
@@ -86,7 +86,7 @@ func TestLowerTriangularInverse(t *testing.T) {
 func TestLowerTriangularInverseSingular(t *testing.T) {
 	lo := matrix.NewDense(2, 2)
 	lo.Set(1, 0, 1) // zero diagonal
-	if _, _, err := LowerTriangularInverse(lo, 2); err == nil {
+	if _, _, err := LowerTriangularInverse(lo, 2, Options{}); err == nil {
 		t.Error("expected singularity error")
 	}
 }
@@ -95,7 +95,7 @@ func TestDenseInverse(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for _, n := range []int{1, 4, 9} {
 		a, _ := diagonallyDominant(rng, n)
-		inv, stats, err := Inverse(a, 3)
+		inv, stats, err := Inverse(a, 3, Options{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -119,7 +119,7 @@ func TestLUArrayDominance(t *testing.T) {
 	w := 3
 	ratio := func(n int) float64 {
 		a, _ := diagonallyDominant(rng, n)
-		_, _, stats, err := BlockLU(a, w)
+		_, _, stats, err := BlockLU(a, w, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

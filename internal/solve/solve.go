@@ -24,6 +24,14 @@ import (
 // budget before reaching the requested tolerance.
 var ErrNoConvergence = errors.New("solve: iteration did not converge")
 
+// Options configure a solver run. The zero value is ready to use.
+type Options struct {
+	// Engine selects the execution engine for every array pass the solver
+	// issues (core.EngineAuto: the compiled fast path). Both engines return
+	// bit-identical results, so Engine only changes simulation cost.
+	Engine core.Engine
+}
+
 // IterStats reports an iterative solve.
 type IterStats struct {
 	// Sweeps is the number of iterations executed.
@@ -38,7 +46,7 @@ type IterStats struct {
 // whole off-diagonal matrix–vector product computed on a w-PE DBT array
 // each sweep. A must be square with a nonzero diagonal; convergence is
 // guaranteed for strictly diagonally dominant A.
-func Jacobi(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64) (matrix.Vector, *IterStats, error) {
+func Jacobi(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64, opts Options) (matrix.Vector, *IterStats, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, nil, fmt.Errorf("solve: Jacobi needs a square matrix, got %d×%d", n, a.Cols())
@@ -60,7 +68,7 @@ func Jacobi(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64) (ma
 	x := matrix.NewVector(n)
 	stats := &IterStats{}
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
-		res, err := solver.Solve(r, x, nil, core.MatVecOptions{})
+		res, err := solver.Solve(r, x, nil, core.MatVecOptions{Engine: opts.Engine})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -81,7 +89,7 @@ func Jacobi(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64) (ma
 // width w: within a sweep, row band r uses the already-updated bands
 // r′ < r. The off-diagonal dot products of each row band run through the
 // DBT array; the diagonal update divides by A's scalar diagonal.
-func GaussSeidel(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64) (matrix.Vector, *IterStats, error) {
+func GaussSeidel(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64, opts Options) (matrix.Vector, *IterStats, error) {
 	n := a.Rows()
 	if a.Cols() != n {
 		return nil, nil, fmt.Errorf("solve: GaussSeidel needs a square matrix, got %d×%d", n, a.Cols())
@@ -110,7 +118,7 @@ func GaussSeidel(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64
 			for i := lo; i < hi; i++ {
 				band.Set(i-lo, i, 0)
 			}
-			res, err := solver.Solve(band, x, nil, core.MatVecOptions{})
+			res, err := solver.Solve(band, x, nil, core.MatVecOptions{Engine: opts.Engine})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -132,7 +140,7 @@ func GaussSeidel(a *matrix.Dense, d matrix.Vector, w, maxSweeps int, tol float64
 // forward substitution with block width w: the off-diagonal products
 // L[r, <r]·y run through the DBT array; each w×w diagonal block is solved
 // by host substitution (the report-/8/ substitution).
-func LowerTriangularSolve(l *matrix.Dense, d matrix.Vector, w int) (matrix.Vector, *IterStats, error) {
+func LowerTriangularSolve(l *matrix.Dense, d matrix.Vector, w int, opts Options) (matrix.Vector, *IterStats, error) {
 	n := l.Rows()
 	if l.Cols() != n {
 		return nil, nil, fmt.Errorf("solve: triangular solve needs a square matrix, got %d×%d", n, l.Cols())
@@ -163,7 +171,7 @@ func LowerTriangularSolve(l *matrix.Dense, d matrix.Vector, w int) (matrix.Vecto
 		copy(rhs, d[lo:hi])
 		if lo > 0 {
 			// s = L[lo:hi, 0:lo]·y[0:lo] on the array.
-			res, err := solver.Solve(l.Slice(lo, hi, 0, lo), y[:lo], nil, core.MatVecOptions{})
+			res, err := solver.Solve(l.Slice(lo, hi, 0, lo), y[:lo], nil, core.MatVecOptions{Engine: opts.Engine})
 			if err != nil {
 				return nil, nil, err
 			}

@@ -28,7 +28,7 @@ func TestJacobiConverges(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for _, n := range []int{3, 7, 12} {
 		a, d := diagonallyDominant(rng, n)
-		x, stats, err := Jacobi(a, d, 3, 500, 1e-10)
+		x, stats, err := Jacobi(a, d, 3, 500, 1e-10, Options{})
 		if err != nil {
 			t.Fatalf("n=%d: %v (residual %g after %d sweeps)", n, err, stats.Residual, stats.Sweeps)
 		}
@@ -45,7 +45,7 @@ func TestGaussSeidelConverges(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	for _, n := range []int{3, 8, 13} {
 		a, d := diagonallyDominant(rng, n)
-		x, stats, err := GaussSeidel(a, d, 3, 500, 1e-10)
+		x, stats, err := GaussSeidel(a, d, 3, 500, 1e-10, Options{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -64,11 +64,11 @@ func TestGaussSeidelConverges(t *testing.T) {
 func TestGaussSeidelFasterThanJacobi(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	a, d := diagonallyDominant(rng, 12)
-	_, js, err := Jacobi(a, d, 3, 1000, 1e-10)
+	_, js, err := Jacobi(a, d, 3, 1000, 1e-10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, gs, err := GaussSeidel(a, d, 3, 1000, 1e-10)
+	_, gs, err := GaussSeidel(a, d, 3, 1000, 1e-10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestJacobiNoConvergence(t *testing.T) {
 	// A non-dominant rotation-like system that Jacobi cannot solve in 3 sweeps.
 	a := matrix.FromRows([][]float64{{1, 2}, {3, 1}})
 	d := matrix.Vector{1, 1}
-	_, _, err := Jacobi(a, d, 2, 3, 1e-12)
+	_, _, err := Jacobi(a, d, 2, 3, 1e-12, Options{})
 	if err == nil {
 		t.Error("expected ErrNoConvergence")
 	}
@@ -99,7 +99,7 @@ func TestLowerTriangularSolve(t *testing.T) {
 		}
 		want := matrix.RandomVector(rng, n, 4)
 		d := l.MulVec(want, nil)
-		y, stats, err := LowerTriangularSolve(l, d, 3)
+		y, stats, err := LowerTriangularSolve(l, d, 3, Options{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -114,22 +114,22 @@ func TestLowerTriangularSolve(t *testing.T) {
 
 func TestSolveValidation(t *testing.T) {
 	a := matrix.NewDense(2, 3)
-	if _, _, err := Jacobi(a, make(matrix.Vector, 2), 2, 5, 1e-6); err == nil {
+	if _, _, err := Jacobi(a, make(matrix.Vector, 2), 2, 5, 1e-6, Options{}); err == nil {
 		t.Error("expected non-square error")
 	}
 	sq := matrix.FromRows([][]float64{{0, 1}, {1, 1}})
-	if _, _, err := Jacobi(sq, make(matrix.Vector, 2), 2, 5, 1e-6); err == nil {
+	if _, _, err := Jacobi(sq, make(matrix.Vector, 2), 2, 5, 1e-6, Options{}); err == nil {
 		t.Error("expected zero-diagonal error")
 	}
-	if _, _, err := GaussSeidel(a, make(matrix.Vector, 2), 2, 5, 1e-6); err == nil {
+	if _, _, err := GaussSeidel(a, make(matrix.Vector, 2), 2, 5, 1e-6, Options{}); err == nil {
 		t.Error("expected non-square error")
 	}
 	notL := matrix.FromRows([][]float64{{1, 2}, {0, 1}})
-	if _, _, err := LowerTriangularSolve(notL, make(matrix.Vector, 2), 2); err == nil {
+	if _, _, err := LowerTriangularSolve(notL, make(matrix.Vector, 2), 2, Options{}); err == nil {
 		t.Error("expected not-lower-triangular error")
 	}
 	sing := matrix.FromRows([][]float64{{1, 0}, {1, 0}})
-	if _, _, err := LowerTriangularSolve(sing, make(matrix.Vector, 2), 2); err == nil {
+	if _, _, err := LowerTriangularSolve(sing, make(matrix.Vector, 2), 2, Options{}); err == nil {
 		t.Error("expected singular error")
 	}
 }

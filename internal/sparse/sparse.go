@@ -22,8 +22,10 @@ import (
 	"fmt"
 
 	"repro/internal/blockpart"
+	"repro/internal/core"
 	"repro/internal/linear"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 )
 
 // MatVec is a sparsity-aware DBT-by-rows transformation.
@@ -95,6 +97,23 @@ type Result struct {
 	T, Q int
 	// Utilization is retained ops / (w·T).
 	Utilization float64
+}
+
+// SolveEngine is Solve with explicit engine selection. The sparse schedule
+// depends on the retained-block pattern — data, not shape — so no
+// shape-keyed compiled plan can exist: core.EngineCompiled returns the
+// engine layer's unsupported-workload error (match schedule.ErrUnsupported
+// with errors.Is) instead of silently falling back; core.EngineAuto and
+// core.EngineOracle run the structural simulator.
+func (t *MatVec) SolveEngine(x, b matrix.Vector, eng core.Engine) (*Result, error) {
+	if _, err := eng.Resolve(false); err != nil {
+		return nil, err
+	}
+	if eng == core.EngineCompiled {
+		return nil, schedule.Unsupported(schedule.WorkloadSparseMatVec,
+			"the schedule depends on the block-sparsity pattern (data, not shape), so no shape-keyed plan exists")
+	}
+	return t.Solve(x, b)
 }
 
 // Solve computes y = A·x + b on a w-PE linear array, skipping zero blocks.

@@ -1,11 +1,13 @@
 package sparse
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 )
 
 // blockSparse builds a matrix whose w×w blocks are nonzero with probability
@@ -126,5 +128,37 @@ func TestSparseValidation(t *testing.T) {
 	}
 	if _, err := tr.Solve(make(matrix.Vector, 4), make(matrix.Vector, 1)); err == nil {
 		t.Error("expected b length error")
+	}
+}
+
+// TestSparseEngineUnsupported: the sparse schedule depends on the
+// block-sparsity pattern (data, not shape), so forcing the compiled engine
+// must return the engine layer's clear unsupported-workload error — never
+// silently fall back — while Auto and Oracle run structurally.
+func TestSparseEngineUnsupported(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := 3
+	a := blockSparse(rng, 3, 3, w, 0.5)
+	x := matrix.RandomVector(rng, 3*w, 5)
+	tr := NewMatVec(a, w)
+	_, err := tr.SolveEngine(x, nil, core.EngineCompiled)
+	if err == nil {
+		t.Fatal("EngineCompiled on the sparse workload should error, not fall back")
+	}
+	if !errors.Is(err, schedule.ErrUnsupported) {
+		t.Fatalf("error %v does not wrap schedule.ErrUnsupported", err)
+	}
+	want, err := tr.Solve(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []core.Engine{core.EngineAuto, core.EngineOracle} {
+		got, err := tr.SolveEngine(x, nil, eng)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if !got.Y.Equal(want.Y, 0) || got.T != want.T {
+			t.Fatalf("%v diverges from the structural solve", eng)
+		}
 	}
 }

@@ -19,13 +19,21 @@
 // the off-diagonal (dense rectangular) work runs as DBT matrix–vector
 // passes on the multiplication array — so every arithmetic operation
 // happens inside a fixed-size systolic array.
+//
+// Like the matrix-product workloads, every solve runs on either of two
+// engines that agree bit for bit: SolveBand is the cycle-accurate
+// structural oracle, and SolveBandEngine/NewSolverEngine select the
+// compiled-schedule fast path (schedule.TriSolve: shape-cached plan,
+// packed band, O(n·w) replay) through the core.Engine mechanism.
 package trisolve
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dbt"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 	"repro/internal/systolic"
 )
 
@@ -59,11 +67,9 @@ type triItem struct {
 	val  float64
 }
 
-// SolveBand solves L·x = b for a lower triangular band matrix (diagonals
-// −(w−1)..0, nonzero diagonal) cycle-accurately. It panics if L is not
-// square, not of bandwidth ≤ w, or has a zero diagonal entry.
-func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
-	w := ar.W
+// validateBand panics unless L is a square lower band of width ≤ w with a
+// right-sized b — the structural preconditions shared by both engines.
+func validateBand(l *matrix.Band, b matrix.Vector, w int) {
 	n := l.Rows()
 	if l.Cols() != n {
 		panic(fmt.Sprintf("trisolve: matrix is %d×%d, want square", n, l.Cols()))
@@ -74,6 +80,52 @@ func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
 	if len(b) != n {
 		panic(fmt.Sprintf("trisolve: len(b)=%d, want %d", len(b), n))
 	}
+}
+
+// SolveBandEngine solves L·x = b on the selected execution engine: the
+// cycle-accurate structural oracle (SolveBand) or the compiled-schedule
+// fast path (shape-cached plan, packed band, O(n·w) replay). Both engines
+// return bit-identical results and statistics; the cross-engine tests
+// enforce this. The only error is an unsatisfiable engine request.
+func (ar *Array) SolveBandEngine(l *matrix.Band, b matrix.Vector, eng core.Engine) (*Result, error) {
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	if !useCompiled {
+		return ar.SolveBand(l, b), nil
+	}
+	return ar.solveBandCompiled(l, b), nil
+}
+
+// solveBandCompiled runs the band solve on the compiled-schedule engine.
+func (ar *Array) solveBandCompiled(l *matrix.Band, b matrix.Vector) *Result {
+	w := ar.W
+	validateBand(l, b, w)
+	n := l.Rows()
+	res := &Result{X: make(matrix.Vector, n)}
+	sch := schedule.TriSolveFor(n, w)
+	res.Activity = sch.Activity()
+	res.T = sch.T
+	res.Divisions = sch.Divisions
+	if n == 0 {
+		return res
+	}
+	lband := schedule.GetFloatsUninit(n * w)
+	defer schedule.PutFloats(lband)
+	dbt.PackTriBand(l, w, *lband)
+	sch.Exec(*lband, b, res.X)
+	return res
+}
+
+// SolveBand solves L·x = b for a lower triangular band matrix (diagonals
+// −(w−1)..0, nonzero diagonal) cycle-accurately on the structural oracle.
+// It panics if L is not square, not of bandwidth ≤ w, or has a zero
+// diagonal entry. Use SolveBandEngine to select the compiled engine.
+func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
+	w := ar.W
+	validateBand(l, b, w)
+	n := l.Rows()
 	res := &Result{
 		X:        make(matrix.Vector, n),
 		Activity: systolic.NewActivity(w),
@@ -157,11 +209,20 @@ type Solver struct {
 	w   int
 	tri *Array
 	mv  *core.MatVecSolver
+	eng core.Engine
 }
 
-// NewSolver returns a dense solver for array size w.
+// NewSolver returns a dense solver for array size w using the default
+// engine (EngineAuto: the compiled fast path for every array pass).
 func NewSolver(w int) *Solver {
-	return &Solver{w: w, tri: New(w), mv: core.NewMatVecSolver(w)}
+	return NewSolverEngine(w, core.EngineAuto)
+}
+
+// NewSolverEngine returns a dense solver whose every array pass — diagonal
+// blocks on the triangular array, off-diagonal panels on the matvec array —
+// runs on the selected execution engine.
+func NewSolverEngine(w int, eng core.Engine) *Solver {
+	return &Solver{w: w, tri: New(w), mv: core.NewMatVecSolver(w), eng: eng}
 }
 
 // DenseResult reports a blocked dense solve.
@@ -205,7 +266,7 @@ func (s *Solver) SolveLower(l *matrix.Dense, b matrix.Vector) (*DenseResult, err
 		copy(rhs, b[lo:hi])
 		if lo > 0 {
 			// Off-diagonal contributions on the multiplication array.
-			mv, err := s.mv.Solve(l.Slice(lo, hi, 0, lo), res.X[:lo], nil, core.MatVecOptions{})
+			mv, err := s.mv.Solve(l.Slice(lo, hi, 0, lo), res.X[:lo], nil, core.MatVecOptions{Engine: s.eng})
 			if err != nil {
 				return nil, err
 			}
@@ -225,7 +286,10 @@ func (s *Solver) SolveLower(l *matrix.Dense, b matrix.Vector) (*DenseResult, err
 				}
 			}
 		}
-		tr := s.tri.SolveBand(blk, rhs)
+		tr, err := s.tri.SolveBandEngine(blk, rhs, s.eng)
+		if err != nil {
+			return nil, err
+		}
 		res.TriSteps += tr.T
 		res.TriPasses++
 		copy(res.X[lo:hi], tr.X)
