@@ -473,6 +473,8 @@ func BenchmarkEngines(b *testing.B) {
 // BenchmarkSolverEngines compares the two execution engines on the solver
 // workloads the compiled plans cover since the plan/replay generalization:
 // band and dense triangular solve, block LU, and the full direct solve.
+// Every row runs steady-state on a reused workspace; the compiled rows
+// must report 0 allocs/op (the compiled-path allocation diet).
 func BenchmarkSolverEngines(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(30))
@@ -507,38 +509,110 @@ func BenchmarkSolverEngines(b *testing.B) {
 	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
 		b.Run(fmt.Sprintf("trisolve-band/w=%d/n=%d/%s", w, n, eng.name), func(b *testing.B) {
 			b.ReportAllocs()
-			ar := trisolve.New(w)
+			tw := trisolve.NewWorkspace(w)
+			x := make(matrix.Vector, n)
+			if _, err := tw.SolveBandInto(x, l, bb, eng.e); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ar.SolveBandEngine(l, bb, eng.e); err != nil {
+				if _, err := tw.SolveBandInto(x, l, bb, eng.e); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("trisolve-dense/w=%d/n=%d/%s", w, nd, eng.name), func(b *testing.B) {
 			b.ReportAllocs()
-			s := trisolve.NewSolverEngine(w, eng.e)
+			tw := trisolve.NewWorkspace(w)
+			x := make(matrix.Vector, nd)
+			if _, err := tw.SolveLowerInto(x, ld, dd, eng.e); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.SolveLower(ld, dd); err != nil {
+				if _, err := tw.SolveLowerInto(x, ld, dd, eng.e); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("blocklu/w=%d/n=%d/%s", w, nd, eng.name), func(b *testing.B) {
 			b.ReportAllocs()
+			ws := solve.NewWorkspace(w)
+			opts := solve.Options{Engine: eng.e}
+			if _, _, _, err := ws.BlockLU(a, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, _, err := solve.BlockLU(a, w, solve.Options{Engine: eng.e}); err != nil {
+				if _, _, _, err := ws.BlockLU(a, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("solve/w=%d/n=%d/%s", w, nd, eng.name), func(b *testing.B) {
 			b.ReportAllocs()
+			ws := solve.NewWorkspace(w)
+			opts := solve.Options{Engine: eng.e}
+			if _, _, err := ws.Solve(a, da, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := solve.Solve(a, da, w, solve.Options{Engine: eng.e}); err != nil {
+				if _, _, err := ws.Solve(a, da, opts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkIntraSolveParallel measures the pass executor: BlockLU and the
+// full Solve with the independent passes of each elimination step fanned
+// across a pool of simulated arrays, vs the same decomposition run inline
+// (results and stats are bit-identical either way — enforced by
+// internal/solve/parallel_test.go). On multi-core hosts the worker rows
+// scale; single-core CI shows executor overhead at parity.
+func BenchmarkIntraSolveParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	w, n := 8, 128
+	a := matrix.RandomDense(rng, n, n, 2)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 40)
+	}
+	d := a.MulVec(matrix.RandomVector(rng, n, 3), nil)
+	opts := solve.Options{Engine: core.EngineCompiled}
+	run := func(name string, ex *core.Executor) {
+		ws := solve.NewWorkspaceExecutor(w, ex)
+		b.Run("blocklu/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			if _, _, _, err := ws.BlockLU(a, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := ws.BlockLU(a, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("solve/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			if _, _, err := ws.Solve(a, d, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ws.Solve(a, d, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("serial", nil)
+	for _, workers := range core.PassWorkerLadder(runtime.GOMAXPROCS(0)) {
+		ex := core.NewExecutor(workers)
+		run(fmt.Sprintf("workers=%d", workers), ex)
+		ex.Close()
 	}
 }
 

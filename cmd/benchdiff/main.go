@@ -1,0 +1,142 @@
+// Command benchdiff compares two BENCH_*.json snapshots (written by
+// cmd/benchjson) row by row and makes the perf trajectory enforceable: it
+// prints per-row ns/op and allocs/op deltas and exits non-zero when any
+// row regresses beyond the thresholds. CI diffs every push's bench-smoke
+// snapshot against the committed baseline, so a catastrophic slowdown or
+// an allocation regression on the compiled paths fails the build instead
+// of landing silently.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -threshold 0.5 -alloc-slack 0 old.json new.json
+//	benchdiff -allow-missing 'solve-batch/*' old.json new.json
+//
+// The ns/op threshold is relative: a row regresses when
+// new > old·(1+threshold). Wall-clock is machine- and noise-dependent, so
+// CI uses a deliberately loose threshold — the gate catches order-of-
+// magnitude regressions, not percent-level jitter. Allocations are nearly
+// deterministic, so the allocs gate is tight: a row regresses when
+// new allocs > old allocs + alloc-slack. A baseline row absent from the
+// new snapshot fails the diff (deletions and renames must update the
+// committed baseline) unless its name matches one of -allow-missing's
+// comma-separated path.Match globs — for rows whose names encode the host
+// (solve-batch/workers=GOMAXPROCS).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// Entry mirrors cmd/benchjson's per-benchmark snapshot row.
+type Entry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot mirrors cmd/benchjson's file schema.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func load(path string) (*Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.30, "allowed relative ns/op regression (0.30 = +30%)")
+	allocSlack := flag.Int64("alloc-slack", 0, "allowed absolute allocs/op regression")
+	allowMissing := flag.String("allow-missing", "", "comma-separated path.Match globs of row names allowed to be absent from the new snapshot (machine-dependent names only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json")
+		os.Exit(2)
+	}
+	oldSnap, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newByName := make(map[string]Entry, len(newSnap.Benchmarks))
+	for _, e := range newSnap.Benchmarks {
+		newByName[e.Name] = e
+	}
+
+	fmt.Printf("benchdiff: %s (%s) → %s (%s), ns/op threshold +%.0f%%, alloc slack %d\n",
+		flag.Arg(0), oldSnap.Date, flag.Arg(1), newSnap.Date, *threshold*100, *allocSlack)
+	fmt.Printf("  %-44s %12s %12s %8s   %s\n", "benchmark", "old ns/op", "new ns/op", "Δ", "allocs old→new")
+	regressions := 0
+	missingOK := func(name string) bool {
+		for _, pat := range strings.Split(*allowMissing, ",") {
+			if pat == "" {
+				continue
+			}
+			if ok, err := path.Match(pat, name); err == nil && ok {
+				return true
+			}
+		}
+		return false
+	}
+	for _, old := range oldSnap.Benchmarks {
+		cur, ok := newByName[old.Name]
+		if !ok {
+			if missingOK(old.Name) {
+				fmt.Printf("  %-44s missing from new snapshot (allowed by pattern)\n", old.Name)
+				continue
+			}
+			fmt.Printf("  %-44s MISSING from new snapshot\n", old.Name)
+			regressions++
+			continue
+		}
+		delete(newByName, old.Name)
+		rel := 0.0
+		if old.NsPerOp > 0 {
+			rel = cur.NsPerOp/old.NsPerOp - 1
+		}
+		marks := ""
+		if rel > *threshold {
+			marks += " TIME-REGRESSION"
+			regressions++
+		}
+		if cur.AllocsPerOp > old.AllocsPerOp+*allocSlack {
+			marks += " ALLOC-REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-44s %12.0f %12.0f %+7.1f%%   %d→%d%s\n",
+			old.Name, old.NsPerOp, cur.NsPerOp, rel*100, old.AllocsPerOp, cur.AllocsPerOp, marks)
+	}
+	for name := range newByName {
+		fmt.Printf("  %-44s new row (no baseline)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regressions beyond threshold\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions beyond threshold")
+}

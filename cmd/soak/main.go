@@ -8,9 +8,12 @@
 // triangular solve and block LU — runs through BOTH execution engines: the
 // cycle-accurate structural oracle and the compiled-schedule fast path,
 // with results and stats compared bit-for-bit. The solvers category also
-// exercises the full direct solve and the block-partitioned embedding; the
-// batch category additionally fans problems across the worker pool and
-// checks it against serial solves. Exits non-zero on the first mismatch.
+// exercises the full direct solve and the block-partitioned embedding, and
+// replays block LU and the full solve on the intra-solve pass executor
+// (independent passes fanned across simulated arrays), requiring results
+// and stats bit-identical to the serial runs; the batch category
+// additionally fans problems across the worker pool and checks it against
+// serial solves. Exits non-zero on the first mismatch.
 //
 // Usage:
 //
@@ -34,12 +37,20 @@ import (
 
 var failures int
 
+// exec is the shared pass executor the solvers category fans passes over.
+var exec *core.Executor
+
 func main() {
 	n := flag.Int("n", 100, "random cases per category")
 	seed := flag.Int64("seed", 1, "random seed")
 	maxw := flag.Int("maxw", 5, "largest array size to draw")
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
+
+	// One pass executor for the whole run: the solvers category replays
+	// every direct solve on it and requires bit-identical results.
+	exec = core.NewExecutor(4)
+	defer exec.Close()
 
 	run("matvec", *n, func() { matvecCase(rng, *maxw) })
 	run("matmul", *n, func() { matmulCase(rng, *maxw) })
@@ -319,16 +330,34 @@ func solverCase(rng *rand.Rand, maxw int) {
 	if !lf.Equal(olf, 0) || !uf.Equal(ouf, 0) || !reflect.DeepEqual(lst, olst) {
 		fail("lu engines disagree (w=%d n=%d)", w, n)
 	}
+	// Intra-solve parallelism: the same factorization fanned across the
+	// pass executor must be bit-identical, stats included.
+	plf, puf, plst, err := solve.BlockLU(a, w, solve.Options{Engine: core.EngineCompiled, Executor: exec})
+	if err != nil {
+		fail("lu parallel: %v", err)
+		return
+	}
+	if !lf.Equal(plf, 0) || !uf.Equal(puf, 0) || !reflect.DeepEqual(lst, plst) {
+		fail("lu parallel differs from serial (w=%d n=%d)", w, n)
+	}
 	// Full direct solve and the block-partitioned embedding.
 	xb := matrix.RandomVector(rng, n, 3)
 	db := a.MulVec(xb, nil)
-	xs, _, err := solve.Solve(a, db, w, solve.Options{})
+	xs, sst, err := solve.Solve(a, db, w, solve.Options{})
 	if err != nil {
 		fail("solve: %v", err)
 		return
 	}
 	if !xs.Equal(xb, 1e-6) {
 		fail("solve wrong (w=%d n=%d): off %g", w, n, xs.MaxAbsDiff(xb))
+	}
+	pxs, psst, err := solve.Solve(a, db, w, solve.Options{Executor: exec})
+	if err != nil {
+		fail("solve parallel: %v", err)
+		return
+	}
+	if !xs.Equal(pxs, 0) || !reflect.DeepEqual(sst, psst) {
+		fail("solve parallel differs from serial (w=%d n=%d)", w, n)
 	}
 	xp, _, err := solve.BlockPartitionedSolve(a, db, w, solve.Options{})
 	if err != nil {

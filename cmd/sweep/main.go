@@ -1,9 +1,10 @@
 // Command sweep regenerates the paper's quantitative results (experiments
-// E1–E13 of DESIGN.md): step-count formulas, utilization asymptotes,
+// E1–E14 of DESIGN.md): step-count formulas, utilization asymptotes,
 // feedback delays, register demands, baseline comparisons, the sparsity
-// ablation, the §4 variants, and the execution-engine comparisons for the
-// matrix-product and solver workloads — each as a table of paper-predicted
-// vs simulator-measured values.
+// ablation, the §4 variants, the execution-engine comparisons for the
+// matrix-product and solver workloads, and the intra-solve parallel
+// executor scaling — each as a table of paper-predicted vs
+// simulator-measured values.
 //
 // Usage:
 //
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E12); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E14); empty = all")
 	flag.Parse()
 	exps := []struct {
 		id  string
@@ -50,6 +51,7 @@ func main() {
 		{"E11", e11, "transformation variants (§4): by-columns, grouping, lower band, triangular array"},
 		{"E12", e12, "execution engines: compiled-schedule speedup and batch throughput scaling"},
 		{"E13", e13, "solver workloads on both engines: trisolve, LU, full and block-partitioned solve"},
+		{"E14", e14, "intra-solve parallelism: pass executor scaling on BlockLU and the full solve"},
 	}
 	ran := false
 	for _, e := range exps {
@@ -466,6 +468,81 @@ func e13() {
 			fmt.Fprintf(os.Stderr, "sweep: cross-engine mismatch on %s\n", c.name)
 			os.Exit(1)
 		}
+	}
+}
+
+// e14 measures intra-solve parallelism: BlockLU and the full direct solve
+// with every elimination step's independent passes fanned across the pass
+// executor, against the identical serial decomposition. Results and stats
+// are checked bit-identical on every row (the decomposition never depends
+// on the worker count); wall-clock scaling needs real cores — single-core
+// containers show executor overhead at parity.
+func e14() {
+	r := rng()
+	w, n := 8, 96
+	a := matrix.RandomDense(r, n, n, 2)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 40)
+	}
+	d := a.MulVec(matrix.RandomVector(r, n, 3), nil)
+	opts := solve.Options{Engine: core.EngineCompiled}
+
+	serialWS := solve.NewWorkspace(w)
+	lRef, uRef, stRef, err := serialWS.BlockLU(a, opts)
+	check(err)
+	lRef, uRef = lRef.Clone(), uRef.Clone()
+	stRefCopy := *stRef
+	xRef, sstRef, err := serialWS.Solve(a, d, opts)
+	check(err)
+	xRef = xRef.Clone()
+	sstRefCopy := *sstRef
+
+	fmt.Printf("  blocklu/solve w=%d n=%d, compiled engine, GOMAXPROCS=%d:\n", w, n, runtime.GOMAXPROCS(0))
+	fmt.Println("   arrays      blocklu      solve   vs serial (blocklu)   identical")
+	timeOf := func(ws *solve.Workspace, fn func(*solve.Workspace) error) time.Duration {
+		const reps = 10
+		check(fn(ws)) // warm
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			check(fn(ws))
+		}
+		return time.Since(start) / reps
+	}
+	var serialLU time.Duration
+	row := func(name string, ex *core.Executor) {
+		ws := solve.NewWorkspaceExecutor(w, ex)
+		lu := timeOf(ws, func(ws *solve.Workspace) error {
+			l, u, st, err := ws.BlockLU(a, opts)
+			if err != nil {
+				return err
+			}
+			if !l.Equal(lRef, 0) || !u.Equal(uRef, 0) || *st != stRefCopy {
+				fmt.Fprintln(os.Stderr, "sweep: parallel BlockLU diverged from serial")
+				os.Exit(1)
+			}
+			return nil
+		})
+		sv := timeOf(ws, func(ws *solve.Workspace) error {
+			x, st, err := ws.Solve(a, d, opts)
+			if err != nil {
+				return err
+			}
+			if !x.Equal(xRef, 0) || *st != sstRefCopy {
+				fmt.Fprintln(os.Stderr, "sweep: parallel Solve diverged from serial")
+				os.Exit(1)
+			}
+			return nil
+		})
+		if name == "serial" {
+			serialLU = lu
+		}
+		fmt.Printf("   %-10s %9s  %9s   %17.2fx   bit-identical\n", name, lu, sv, float64(serialLU)/float64(lu))
+	}
+	row("serial", nil)
+	for _, workers := range core.PassWorkerLadder(runtime.GOMAXPROCS(0)) {
+		ex := core.NewExecutor(workers)
+		row(fmt.Sprintf("workers=%d", workers), ex)
+		ex.Close()
 	}
 }
 

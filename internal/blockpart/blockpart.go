@@ -52,6 +52,25 @@ func Partition(a *matrix.Dense, w int) *Grid {
 	}
 }
 
+// Repartition rebuilds g in place as the block grid of a with block size w,
+// reusing the padded matrix's storage when its capacity allows. It is the
+// allocation-free counterpart of Partition for transform pools and scratch
+// arenas that build one grid per array pass.
+func (g *Grid) Repartition(a *matrix.Dense, w int) {
+	if w < 1 {
+		panic(fmt.Sprintf("blockpart: invalid block size %d", w))
+	}
+	if a.Rows() == 0 || a.Cols() == 0 {
+		panic("blockpart: empty matrix")
+	}
+	nb := Ceil(a.Rows(), w)
+	mb := Ceil(a.Cols(), w)
+	g.W = w
+	g.BlockRows, g.BlockCols = nb, mb
+	g.OrigRows, g.OrigCols = a.Rows(), a.Cols()
+	g.padded = matrix.PadInto(g.padded, a, nb*w, mb*w)
+}
+
 // Padded returns the zero-padded matrix (n̄w × m̄w).
 func (g *Grid) Padded() *matrix.Dense { return g.padded }
 

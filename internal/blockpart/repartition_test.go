@@ -1,0 +1,28 @@
+package blockpart
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestRepartition: rebuilding a grid in place across changing shapes must
+// always match a freshly partitioned grid, padding included.
+func TestRepartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Partition(matrix.RandomDense(rng, 3, 3, 4), 2)
+	for trial := 0; trial < 30; trial++ {
+		w := 1 + rng.Intn(4)
+		a := matrix.RandomDense(rng, 1+rng.Intn(9), 1+rng.Intn(9), 4)
+		g.Repartition(a, w)
+		fresh := Partition(a, w)
+		if g.W != fresh.W || g.BlockRows != fresh.BlockRows || g.BlockCols != fresh.BlockCols ||
+			g.OrigRows != fresh.OrigRows || g.OrigCols != fresh.OrigCols {
+			t.Fatalf("Repartition header mismatch: %+v vs %+v", g, fresh)
+		}
+		if !g.Padded().Equal(fresh.Padded(), 0) {
+			t.Fatal("Repartition padded matrix mismatch (stale padding?)")
+		}
+	}
+}

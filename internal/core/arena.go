@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+	"repro/internal/schedule"
+)
+
+// Arena is the per-array scratch state of the pass executor: reusable
+// float/matrix buffers, privately retained DBT transforms, and a plan memo,
+// all owned by a single goroutine. Passes replayed on one arena reuse the
+// same storage, so the steady state of the compiled pass path allocates
+// nothing.
+//
+// Ownership rules (see DESIGN.md §5):
+//
+//   - An arena belongs to one goroutine at a time. The Executor gives each
+//     simulated array its own arena; serial workspaces own one directly.
+//     Two passes may share an arena only sequentially — never concurrently.
+//   - Reset marks the start of a unit of work (the executor resets the
+//     arena before every task it runs). Everything drawn from the arena
+//     after a Reset is valid until the next Reset; nothing drawn from an
+//     arena may outlive that window or escape to another goroutine.
+//   - Buffers come back with arbitrary contents; callers overwrite before
+//     reading.
+type Arena struct {
+	memo *schedule.PlanMemo
+	mvT  *dbt.MatVec
+	mmT  *dbt.MatMul
+
+	floats   [][]float64
+	fcursor  int
+	matrices []*matrix.Dense
+	mcursor  int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{memo: schedule.NewPlanMemo(), mvT: &dbt.MatVec{}, mmT: &dbt.MatMul{}}
+}
+
+// Reset recycles every buffer drawn since the previous Reset. Plans,
+// transforms and slab capacities are retained — that is the point.
+func (ar *Arena) Reset() {
+	ar.fcursor = 0
+	ar.mcursor = 0
+}
+
+// Floats returns a length-n scratch slice with arbitrary contents, reused
+// across Resets.
+func (ar *Arena) Floats(n int) []float64 {
+	if ar.fcursor == len(ar.floats) {
+		ar.floats = append(ar.floats, make([]float64, n))
+	}
+	s := ar.floats[ar.fcursor]
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	ar.floats[ar.fcursor] = s
+	ar.fcursor++
+	return s
+}
+
+// Dense returns a rows×cols scratch matrix with arbitrary contents, reused
+// across Resets.
+func (ar *Arena) Dense(rows, cols int) *matrix.Dense {
+	if ar.mcursor == len(ar.matrices) {
+		ar.matrices = append(ar.matrices, nil)
+	}
+	m := matrix.Reuse(ar.matrices[ar.mcursor], rows, cols)
+	ar.matrices[ar.mcursor] = m
+	ar.mcursor++
+	return m
+}
+
+// Plans returns the arena's plan memo, for solver packages that replay
+// compiled plans directly on this arena's goroutine.
+func (ar *Arena) Plans() *schedule.PlanMemo { return ar.memo }
+
+// MatVecPass computes dst = A·x + b (b may be nil) as one linear-array pass
+// on the selected engine and returns the pass's measured step count T. dst
+// must have length A.Rows() and must not alias x or b. On the compiled
+// engine the pass draws every buffer from the arena and allocates nothing
+// in the steady state; the oracle engine runs the structural simulator
+// (allocating freely) and copies the result, so both engines return
+// bit-identical values.
+func (ar *Arena) MatVecPass(dst matrix.Vector, a *matrix.Dense, x, b matrix.Vector, w int, eng Engine) (int, error) {
+	if len(dst) != a.Rows() {
+		panic(fmt.Sprintf("core: MatVecPass dst len %d, want %d", len(dst), a.Rows()))
+	}
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return 0, err
+	}
+	if !useCompiled {
+		res, err := NewMatVecSolver(w).Solve(a, x, b, MatVecOptions{Engine: EngineOracle})
+		if err != nil {
+			return 0, err
+		}
+		copy(dst, res.Y)
+		return res.Stats.T, nil
+	}
+	t := ar.mvT
+	t.Reset(a, w)
+	sch, err := ar.memo.MatVecFor(t, false)
+	if err != nil {
+		return 0, err
+	}
+	if len(x) != a.Cols() {
+		return 0, fmt.Errorf("core: len(x)=%d, want %d", len(x), a.Cols())
+	}
+	if b != nil && len(b) != a.Rows() {
+		return 0, fmt.Errorf("core: len(b)=%d, want %d", len(b), a.Rows())
+	}
+	xbar := t.TransformXInto(ar.Floats(t.BandCols()), x)
+	bp := ar.Floats(sch.BLen)
+	clear(bp)
+	copy(bp, b)
+	band := ar.Floats(sch.Rows * w)
+	t.PackBand(band)
+	ybuf := ar.Floats(sch.Rows)
+	sch.Exec(band, xbar, bp, ybuf)
+	t.RecoverYFlat(dst, ybuf)
+	return sch.T, nil
+}
+
+// MatMulPass computes dst = A·B + E (e may be nil) as one hexagonal-array
+// pass on the selected engine and returns the pass's measured step count T.
+// dst must be A.Rows()×B.Cols() and must not alias a, b or e. Allocation
+// behavior matches MatVecPass: zero steady-state allocations on the
+// compiled engine, bit-identical results on both.
+func (ar *Arena) MatMulPass(dst, a, b, e *matrix.Dense, w int, eng Engine) (int, error) {
+	if dst.Rows() != a.Rows() || dst.Cols() != b.Cols() {
+		panic(fmt.Sprintf("core: MatMulPass dst %d×%d, want %d×%d", dst.Rows(), dst.Cols(), a.Rows(), b.Cols()))
+	}
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return 0, err
+	}
+	if !useCompiled {
+		res, err := NewMatMulSolver(w).Solve(a, b, MatMulOptions{E: e, Engine: EngineOracle})
+		if err != nil {
+			return 0, err
+		}
+		dst.SetRect(0, 0, res.C)
+		return res.Stats.T, nil
+	}
+	if a.Cols() != b.Rows() {
+		return 0, fmt.Errorf("core: A is %d×%d but B is %d×%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	if e != nil && (e.Rows() != a.Rows() || e.Cols() != b.Cols()) {
+		return 0, fmt.Errorf("core: E is %d×%d, want %d×%d", e.Rows(), e.Cols(), a.Rows(), b.Cols())
+	}
+	t := ar.mmT
+	t.Reset(a, b, w)
+	sch := ar.memo.MatMulFor(t)
+	aPack := ar.Floats(sch.Dim * w)
+	bPack := ar.Floats(sch.Dim * w)
+	t.PackAHat(aPack)
+	t.PackBHat(bPack)
+	ext := ar.Floats(len(sch.ExtInits))
+	if e == nil {
+		clear(ext)
+	} else {
+		for i, ei := range sch.ExtInits {
+			ext[i] = t.EPieceAt(e, ei.R, ei.S, ei.P, ei.A, ei.B)
+		}
+	}
+	oband := ar.Floats(sch.OLen())
+	sch.Exec(aPack, bPack, ext, oband)
+	extractMatMul(t, dst, func(rho, gamma int) float64 { return sch.OAt(oband, rho, gamma) })
+	return sch.T, nil
+}

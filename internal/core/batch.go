@@ -79,6 +79,22 @@ func WorkerLadder(max int) []int {
 	return counts
 }
 
+// PassWorkerLadder returns the ascending, deduplicated worker counts
+// {1, 2, numCPU} — the array counts the intra-solve parallel harnesses
+// (BenchmarkIntraSolveParallel, sweep E14, benchjson's *-par rows) measure.
+// Unlike WorkerLadder it keeps the 2-worker rung even on a single-core
+// host: the oversubscribed row measures executor queue overhead. The 1-
+// and 2-worker rungs have host-independent bench-row names; benchjson
+// labels the top rung "workers=max" so cmd/benchdiff can match rows
+// across hosts with different core counts.
+func PassWorkerLadder(numCPU int) []int {
+	counts := []int{1, 2}
+	if numCPU > 2 {
+		counts = append(counts, numCPU)
+	}
+	return counts
+}
+
 // Batch fans items out to a pool of workers pulling from a shared atomic
 // cursor (work-stealing by index, no channels on the hot path). Results
 // come back aligned with items; on error the failing entries are zero and

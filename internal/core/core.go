@@ -114,22 +114,28 @@ func (s *MatVecSolver) Solve(a *matrix.Dense, x, b matrix.Vector, opts MatVecOpt
 		res.Y = reverseV(res.Y)
 		return res, nil
 	}
+	useCompiled, err := opts.Engine.Resolve(opts.Trace)
+	if err != nil {
+		return nil, err
+	}
 	var t dbt.Transform
 	if opts.ByColumns {
 		if opts.Overlap {
 			return nil, fmt.Errorf("core: ByColumns chains span the whole band and cannot be split for overlap")
 		}
 		t = dbt.NewMatVecByColumns(a, s.w)
+	} else if useCompiled {
+		// The transform is only needed while the compiled pass packs and
+		// recovers, so it comes from the schedule pool and goes straight back.
+		pooled := schedule.GetMatVec(a, s.w)
+		defer schedule.PutMatVec(pooled)
+		t = pooled
 	} else {
 		t = dbt.NewMatVec(a, s.w)
 	}
 	_, nbar, mbar := t.Shape()
 	if opts.Overlap && nbar < 2 {
 		return nil, fmt.Errorf("core: overlap needs n̄ ≥ 2, have %d (use two independent problems instead)", nbar)
-	}
-	useCompiled, err := opts.Engine.Resolve(opts.Trace)
-	if err != nil {
-		return nil, err
 	}
 	if useCompiled {
 		// Validation is structural (shape-only); the schedule compiler runs
@@ -196,13 +202,21 @@ func (s *MatVecSolver) solveCompiled(t dbt.Transform, x, b matrix.Vector, opts M
 	if err != nil {
 		return nil, err
 	}
-	xbar := t.TransformX(x)
-	var bp matrix.Vector
-	if b == nil {
-		bp = matrix.NewVector(sch.BLen)
+	// x̄ and the padded b̄ live in pooled scratch; only the returned y is a
+	// fresh allocation on this path.
+	var xbar matrix.Vector
+	mv, isByRows := t.(*dbt.MatVec)
+	if isByRows {
+		xbarBuf := schedule.GetFloatsUninit(t.BandCols())
+		defer schedule.PutFloats(xbarBuf)
+		xbar = mv.TransformXInto(*xbarBuf, x)
 	} else {
-		bp = b.Pad(sch.BLen)
+		xbar = t.TransformX(x)
 	}
+	bpBuf := schedule.GetFloats(sch.BLen)
+	defer schedule.PutFloats(bpBuf)
+	bp := matrix.Vector(*bpBuf)
+	copy(bp, b)
 	band := schedule.GetFloatsUninit(sch.Rows * s.w)
 	defer schedule.PutFloats(band)
 	t.PackBand(*band)
@@ -210,13 +224,17 @@ func (s *MatVecSolver) solveCompiled(t dbt.Transform, x, b matrix.Vector, opts M
 	defer schedule.PutFloats(ybuf)
 	sch.Exec(*band, xbar, bp, *ybuf)
 
-	// Reassemble ȳ blocks and recover y (RecoverY copies, so the pooled
-	// buffer can be released afterwards).
-	ybars := make([]matrix.Vector, t.Blocks())
-	for k := range ybars {
-		ybars[k] = matrix.Vector((*ybuf)[k*s.w : (k+1)*s.w])
+	// Recover y (copying, so the pooled buffers can be released).
+	var y matrix.Vector
+	if isByRows {
+		y = mv.RecoverYFlat(make(matrix.Vector, mv.N), *ybuf)
+	} else {
+		ybars := make([]matrix.Vector, t.Blocks())
+		for k := range ybars {
+			ybars[k] = matrix.Vector((*ybuf)[k*s.w : (k+1)*s.w])
+		}
+		y = t.RecoverY(ybars)
 	}
-	y := t.RecoverY(ybars)
 
 	stats := MatVecStats{
 		W: s.w, NBar: nbar, MBar: mbar,

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor is the intra-solve parallel substrate: a pool of simulated
+// arrays, each a goroutine with its own work queue and scratch Arena. It
+// generalizes the whole-problem Batch pool to per-pass granularity — the
+// blocked solvers (solve.Workspace, trisolve.Workspace) express each
+// elimination step as a set of independent array passes, Submit fans them
+// out across the arrays, and Barrier closes the step.
+//
+// Determinism: a pass's result never depends on which array runs it (plan
+// replay is deterministic and every pass writes a disjoint output region),
+// and callers accumulate per-pass statistics into index-addressed slots
+// that they reduce in submission order after the barrier — so results and
+// stats are bit-identical at every worker count, including the serial
+// (nil-executor) path.
+type Executor struct {
+	queues []chan func(worker int, ar *Arena)
+	done   sync.WaitGroup // worker goroutines, for Close
+	tasks  sync.WaitGroup // in-flight tasks, for Barrier
+	next   atomic.Uint64  // round-robin submission cursor
+}
+
+// NewExecutor starts an executor with the given number of simulated arrays
+// (values < 1 mean GOMAXPROCS). Close it when done.
+func NewExecutor(workers int) *Executor {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{queues: make([]chan func(int, *Arena), workers)}
+	for i := range e.queues {
+		e.queues[i] = make(chan func(int, *Arena), 64)
+		e.done.Add(1)
+		go func(worker int) {
+			defer e.done.Done()
+			ar := NewArena()
+			for task := range e.queues[worker] {
+				ar.Reset()
+				task(worker, ar)
+				e.tasks.Done()
+			}
+		}(i)
+	}
+	return e
+}
+
+// Workers returns the number of simulated arrays.
+func (e *Executor) Workers() int { return len(e.queues) }
+
+// Submit enqueues one pass on the next array in round-robin order. The
+// task receives the array index and the array's private arena (reset just
+// before the task runs). Tasks must be independent of each other — the
+// executor gives no ordering guarantee between tasks submitted before the
+// same Barrier — and must record errors and statistics into caller-owned
+// indexed slots rather than shared accumulators.
+func (e *Executor) Submit(task func(worker int, ar *Arena)) {
+	e.tasks.Add(1)
+	e.queues[int(e.next.Add(1)-1)%len(e.queues)] <- task
+}
+
+// Barrier blocks until every task submitted so far has finished. It is the
+// per-step synchronization point of the blocked solvers; the same
+// goroutine that Submits must call Barrier (Submit must not race with it).
+func (e *Executor) Barrier() { e.tasks.Wait() }
+
+// Close waits for in-flight tasks and stops the arrays. The executor must
+// not be used afterwards.
+func (e *Executor) Close() {
+	e.tasks.Wait()
+	for _, q := range e.queues {
+		close(q)
+	}
+	e.done.Wait()
+}

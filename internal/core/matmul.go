@@ -78,20 +78,25 @@ func (s *MatMulSolver) Solve(a, b *matrix.Dense, opts MatMulOptions) (*MatMulRes
 	if opts.E != nil && (opts.E.Rows() != a.Rows() || opts.E.Cols() != b.Cols()) {
 		return nil, fmt.Errorf("core: E is %d×%d, want %d×%d", opts.E.Rows(), opts.E.Cols(), a.Rows(), b.Cols())
 	}
-	t := dbt.NewMatMul(a, b, s.w)
 	useCompiled, err := opts.Engine.Resolve(opts.Trace)
 	if err != nil {
 		return nil, err
 	}
 	if useCompiled {
+		// The transform is only needed while packing and extracting, so it
+		// comes from the schedule pool and goes straight back.
+		t := schedule.GetMatMul(a, b, s.w)
+		defer schedule.PutMatMul(t)
 		return s.solveCompiled(t, a, b, opts)
 	}
+	t := dbt.NewMatMul(a, b, s.w)
 	arr := hex.New(s.w)
 	arr.RecordTrace = opts.Trace
 	res := arr.Run(s.program(t, opts.E))
 
 	// Extract C from the recorded output band via the appendix index maps.
-	cFinal := s.extract(t, res.Progs[0].At).Slice(0, a.Rows(), 0, b.Cols())
+	cFinal := matrix.NewDense(a.Rows(), b.Cols())
+	extractMatMul(t, cFinal, res.Progs[0].At)
 
 	regular, irregular := systolic.DelayHistogram(res.Feedback())
 	stats := MatMulStats{
@@ -131,9 +136,10 @@ func (s *MatMulSolver) solveCompiled(t *dbt.MatMul, a, b *matrix.Dense, opts Mat
 	defer schedule.PutFloats(oband)
 	sch.Exec(*aPack, *bPack, *ext, *oband)
 
-	cFinal := s.extract(t, func(rho, gamma int) float64 {
+	cFinal := matrix.NewDense(a.Rows(), b.Cols())
+	extractMatMul(t, cFinal, func(rho, gamma int) float64 {
 		return sch.OAt(*oband, rho, gamma)
-	}).Slice(0, a.Rows(), 0, b.Cols())
+	})
 
 	regular, irregular := sch.CopyDelays()
 	stats := MatMulStats{
@@ -176,7 +182,8 @@ func (s *MatMulSolver) SolveMany(as, bs []*matrix.Dense) ([]*matrix.Dense, *MatM
 	res := arr.Run(progs...)
 	cs := make([]*matrix.Dense, len(as))
 	for i, t := range ts {
-		cs[i] = s.extract(t, res.Progs[i].At).Slice(0, as[i].Rows(), 0, bs[i].Cols())
+		cs[i] = matrix.NewDense(as[i].Rows(), bs[i].Cols())
+		extractMatMul(t, cs[i], res.Progs[i].At)
 	}
 	stats := &MatMulStats{
 		W: s.w,
@@ -222,26 +229,45 @@ func (s *MatMulSolver) program(t *dbt.MatMul, e *matrix.Dense) *hex.Program {
 	}
 }
 
-// extract assembles the padded C from an output band reader (the structural
-// engine's ProgResult.At or the compiled engine's band buffer).
-func (s *MatMulSolver) extract(t *dbt.MatMul, at func(rho, gamma int) float64) *matrix.Dense {
-	c := matrix.NewDense(t.NBar*s.w, t.MBar*s.w)
+// cPieces are the three band pieces that partition a C block.
+var cPieces = [3]dbt.Piece{dbt.PieceD, dbt.PieceUMid, dbt.PieceLMid}
+
+// extractMatMul assembles C into dst — any shape up to the padded
+// n̄w × m̄w grid; every real C element is covered by an in-band position,
+// so dst is fully overwritten and needs no pre-zeroing — from an output
+// band reader (the structural engine's ProgResult.At or the compiled
+// engine's band buffer). It allocates nothing: the source piece of a C
+// piece always shares its triangular membership (CSource maps D→D,
+// strict-upper→strict-upper, strict-lower→strict-lower), so one membership
+// test per position replaces the position enumeration.
+func extractMatMul(t *dbt.MatMul, dst *matrix.Dense, at func(rho, gamma int) float64) {
+	w := t.W
+	dim := t.Dim()
 	for r := 0; r < t.NBar; r++ {
 		for iB := 0; iB < t.MBar; iB++ {
-			for _, p := range []dbt.Piece{dbt.PieceD, dbt.PieceUMid, dbt.PieceLMid} {
+			for _, p := range cPieces {
 				row, src := t.CSource(r, iB, p)
 				off := t.PieceColOffset(src)
-				for _, pos := range t.PiecePositions(row, src) {
-					la, lb := pos[2], pos[3]
-					if !pieceMember(p, la, lb) {
+				for la := 0; la < w; la++ {
+					i := r*w + la
+					if i >= dst.Rows() || row*w+la >= dim {
 						continue
 					}
-					c.Set(r*s.w+la, iB*s.w+lb, at(row*s.w+la, row*s.w+off+lb))
+					for lb := 0; lb < w; lb++ {
+						if !pieceMember(p, la, lb) {
+							continue
+						}
+						j := iB*w + lb
+						col := row*w + off + lb
+						if j >= dst.Cols() || col < 0 || col >= dim {
+							continue
+						}
+						dst.Set(i, j, at(row*w+la, col))
+					}
 				}
 			}
 		}
 	}
-	return c
 }
 
 // pieceMember reports whether local position (a, b) belongs to the triangle

@@ -1,0 +1,110 @@
+package dbt
+
+import (
+	"fmt"
+
+	"repro/internal/blockpart"
+	"repro/internal/matrix"
+)
+
+// This file holds the allocation-free counterparts of the transform
+// constructors and stream helpers, for the compiled engine's transform
+// pools and scratch arenas (internal/schedule, internal/core): Reset
+// rebuilds a transform in place reusing its grid storage, TransformXInto
+// writes x̄ into a caller buffer, and RecoverYFlat extracts y from the flat
+// ȳ buffer the compiled replay produces. Each is bit-identical to its
+// allocating twin.
+
+// Reset rebuilds t in place as the DBT-by-rows transformation of a with
+// array size w, reusing the grid's padded storage when capacity allows. A
+// zero-valued MatVec is a valid target.
+func (t *MatVec) Reset(a *matrix.Dense, w int) {
+	if t.Grid == nil {
+		t.Grid = blockpart.Partition(a, w)
+	} else {
+		t.Grid.Repartition(a, w)
+	}
+	t.W = w
+	t.NBar, t.MBar = t.Grid.BlockRows, t.Grid.BlockCols
+	t.N, t.M = a.Rows(), a.Cols()
+}
+
+// Reset rebuilds t in place as the matrix–matrix transformation of A (n×p),
+// B (p×m) with array size w, reusing the underlying grids' padded storage
+// when capacity allows. A zero-valued MatMul is a valid target.
+func (t *MatMul) Reset(a, b *matrix.Dense, w int) {
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("dbt: MatMul dim mismatch %d×%d · %d×%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	if t.AT == nil {
+		t.AT = &MatVec{}
+	}
+	t.AT.Reset(a, w)
+	if t.BGrid == nil {
+		t.BGrid = blockpart.Partition(b, w)
+	} else {
+		t.BGrid.Repartition(b, w)
+	}
+	t.W = w
+	t.NBar, t.PBar, t.MBar = t.AT.NBar, t.AT.MBar, t.BGrid.BlockCols
+	t.N, t.P, t.M = a.Rows(), a.Cols(), b.Cols()
+}
+
+// TransformXInto writes x̄ into dst (len ≥ BandCols()) and returns the
+// filled prefix as a Vector. It produces exactly TransformX's values —
+// x̄_k = padded x block (k mod m̄), plus the w−1 tail — without allocating.
+func (t *MatVec) TransformXInto(dst []float64, x matrix.Vector) matrix.Vector {
+	if len(x) != t.M {
+		panic(fmt.Sprintf("dbt: TransformXInto length %d, want %d", len(x), t.M))
+	}
+	if len(dst) < t.BandCols() {
+		panic(fmt.Sprintf("dbt: TransformXInto dst len %d, want ≥ %d", len(dst), t.BandCols()))
+	}
+	w := t.W
+	// writeBlock writes count elements of padded x block s at dst[off:].
+	writeBlock := func(off, s, count int) {
+		blk := dst[off : off+count]
+		lo := s * w
+		n := t.M - lo
+		if n > count {
+			n = count
+		}
+		if n < 0 {
+			n = 0
+		}
+		copy(blk[:n], x[lo:lo+n])
+		clear(blk[n:])
+	}
+	for k := 0; k < t.Blocks(); k++ {
+		writeBlock(k*w, k%t.MBar, w)
+	}
+	_, s := t.LowerIndex(t.Blocks() - 1)
+	writeBlock(t.Blocks()*w, s, w-1)
+	return matrix.Vector(dst[:t.BandCols()])
+}
+
+// RecoverYFlat extracts the final y (length N) from the flat ȳ buffer of a
+// compiled replay (ybar[k·w+a] = ȳ_k[a], len ≥ BandRows()) into dst
+// (len = N) and returns dst. It is RecoverY without the per-block slice
+// headers.
+func (t *MatVec) RecoverYFlat(dst matrix.Vector, ybar []float64) matrix.Vector {
+	if len(dst) != t.N {
+		panic(fmt.Sprintf("dbt: RecoverYFlat dst len %d, want %d", len(dst), t.N))
+	}
+	if len(ybar) < t.BandRows() {
+		panic(fmt.Sprintf("dbt: RecoverYFlat ybar len %d, want ≥ %d", len(ybar), t.BandRows()))
+	}
+	w := t.W
+	pos := 0
+	for k := 0; k < t.Blocks(); k++ {
+		if d := t.YDest(k); d.Final {
+			n := t.N - pos
+			if n > w {
+				n = w
+			}
+			copy(dst[pos:pos+n], ybar[k*w:k*w+n])
+			pos += n
+		}
+	}
+	return dst
+}

@@ -1,0 +1,98 @@
+package dbt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestResetMatchesNew: a transform rebuilt in place across a sequence of
+// random shapes must be indistinguishable from a freshly constructed one —
+// band contents, x̄ stream and recovered y alike.
+func TestResetMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	reused := &MatVec{}
+	for trial := 0; trial < 25; trial++ {
+		w := 1 + rng.Intn(4)
+		n, m := 1+rng.Intn(3*w), 1+rng.Intn(3*w)
+		a := matrix.RandomDense(rng, n, m, 5)
+		reused.Reset(a, w)
+		fresh := NewMatVec(a, w)
+		if reused.W != fresh.W || reused.NBar != fresh.NBar || reused.MBar != fresh.MBar ||
+			reused.N != fresh.N || reused.M != fresh.M {
+			t.Fatalf("Reset header mismatch: %+v vs %+v", reused, fresh)
+		}
+		for i := 0; i < fresh.BandRows(); i++ {
+			for d := 0; d < w; d++ {
+				if j := i + d; j < fresh.BandCols() {
+					if reused.BandAt(i, j) != fresh.BandAt(i, j) {
+						t.Fatalf("Reset band mismatch at (%d,%d)", i, j)
+					}
+				}
+			}
+		}
+		x := matrix.RandomVector(rng, m, 5)
+		want := fresh.TransformX(x)
+		got := reused.TransformXInto(make([]float64, reused.BandCols()+rng.Intn(3)), x)
+		if !got.Equal(want, 0) {
+			t.Fatal("TransformXInto mismatch")
+		}
+	}
+}
+
+// TestResetMatMulMatchesNew: same for the matrix–matrix transform.
+func TestResetMatMulMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	reused := &MatMul{}
+	for trial := 0; trial < 15; trial++ {
+		w := 1 + rng.Intn(3)
+		n, p, m := 1+rng.Intn(2*w), 1+rng.Intn(2*w), 1+rng.Intn(2*w)
+		a := matrix.RandomDense(rng, n, p, 4)
+		b := matrix.RandomDense(rng, p, m, 4)
+		reused.Reset(a, b, w)
+		fresh := NewMatMul(a, b, w)
+		if reused.NBar != fresh.NBar || reused.PBar != fresh.PBar || reused.MBar != fresh.MBar ||
+			reused.Dim() != fresh.Dim() {
+			t.Fatalf("Reset header mismatch: %+v vs %+v", reused, fresh)
+		}
+		for i := 0; i < fresh.Dim(); i++ {
+			for d := 0; d < w; d++ {
+				if j := i + d; j < fresh.Dim() {
+					if reused.AHatAt(i, j) != fresh.AHatAt(i, j) {
+						t.Fatalf("Reset Â mismatch at (%d,%d)", i, j)
+					}
+				}
+				if j := i - d; j >= 0 {
+					if reused.BHatAt(i, j) != fresh.BHatAt(i, j) {
+						t.Fatalf("Reset B̂ mismatch at (%d,%d)", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverYFlat: recovering y from the flat ȳ buffer must match the
+// per-block RecoverY on every shape, ragged tails included.
+func TestRecoverYFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 25; trial++ {
+		w := 1 + rng.Intn(4)
+		n, m := 1+rng.Intn(3*w), 1+rng.Intn(3*w)
+		tr := NewMatVec(matrix.RandomDense(rng, n, m, 5), w)
+		flat := make([]float64, tr.BandRows())
+		for i := range flat {
+			flat[i] = float64(rng.Intn(19) - 9)
+		}
+		ybars := make([]matrix.Vector, tr.Blocks())
+		for k := range ybars {
+			ybars[k] = matrix.Vector(flat[k*w : (k+1)*w]).Clone()
+		}
+		want := tr.RecoverY(ybars)
+		got := tr.RecoverYFlat(make(matrix.Vector, n), flat)
+		if !got.Equal(want, 0) {
+			t.Fatalf("RecoverYFlat mismatch (w=%d n=%d m=%d)", w, n, m)
+		}
+	}
+}

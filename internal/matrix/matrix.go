@@ -88,6 +88,80 @@ func (m *Dense) Clone() *Dense {
 	return c
 }
 
+// Reuse returns a rows×cols matrix backed by dst's storage when dst is
+// non-nil and has the capacity, and a fresh matrix otherwise. The contents
+// are arbitrary (not zeroed) — it exists for scratch arenas and workspaces
+// that fully overwrite the matrix before reading it. Callers must treat the
+// previous view of dst as invalid after a Reuse.
+func Reuse(dst *Dense, rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %d×%d", rows, cols))
+	}
+	if dst == nil || cap(dst.data) < rows*cols {
+		return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+	}
+	dst.rows, dst.cols = rows, cols
+	dst.data = dst.data[:rows*cols]
+	return dst
+}
+
+// ReuseZero is Reuse with the returned matrix zeroed.
+func ReuseZero(dst *Dense, rows, cols int) *Dense {
+	dst = Reuse(dst, rows, cols)
+	clear(dst.data)
+	return dst
+}
+
+// CloneInto copies src into dst (reusing dst's storage when possible,
+// see Reuse) and returns the destination.
+func CloneInto(dst, src *Dense) *Dense {
+	dst = Reuse(dst, src.rows, src.cols)
+	copy(dst.data, src.data)
+	return dst
+}
+
+// PadInto writes a rows×cols zero-padded copy of src into dst (reusing
+// dst's storage when possible, see Reuse) and returns the destination. It
+// panics if the target is smaller than src in either dimension.
+func PadInto(dst, src *Dense, rows, cols int) *Dense {
+	if rows < src.rows || cols < src.cols {
+		panic(fmt.Sprintf("matrix: cannot pad %d×%d down to %d×%d", src.rows, src.cols, rows, cols))
+	}
+	dst = Reuse(dst, rows, cols)
+	for i := 0; i < src.rows; i++ {
+		row := dst.data[i*cols : i*cols+cols]
+		copy(row, src.data[i*src.cols:(i+1)*src.cols])
+		clear(row[src.cols:])
+	}
+	clear(dst.data[src.rows*cols:])
+	return dst
+}
+
+// SliceInto copies the sub-matrix of src with rows [r0,r1) and cols [c0,c1)
+// into dst (reusing dst's storage when possible, see Reuse) and returns the
+// destination.
+func SliceInto(dst, src *Dense, r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > src.rows || c0 < 0 || c1 > src.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("matrix: bad slice [%d:%d, %d:%d] of %d×%d", r0, r1, c0, c1, src.rows, src.cols))
+	}
+	dst = Reuse(dst, r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(dst.data[(i-r0)*dst.cols:(i-r0+1)*dst.cols], src.data[i*src.cols+c0:i*src.cols+c1])
+	}
+	return dst
+}
+
+// SetRect writes src into dst starting at (r0, c0). It panics when src does
+// not fit.
+func (m *Dense) SetRect(r0, c0 int, src *Dense) {
+	if r0 < 0 || c0 < 0 || r0+src.rows > m.rows || c0+src.cols > m.cols {
+		panic(fmt.Sprintf("matrix: SetRect %d×%d at (%d,%d) outside %d×%d", src.rows, src.cols, r0, c0, m.rows, m.cols))
+	}
+	for i := 0; i < src.rows; i++ {
+		copy(m.data[(r0+i)*m.cols+c0:(r0+i)*m.cols+c0+src.cols], src.data[i*src.cols:(i+1)*src.cols])
+	}
+}
+
 // Pad returns a rows×cols copy of m extended with zeros. It panics if the
 // target is smaller than m in either dimension.
 func (m *Dense) Pad(rows, cols int) *Dense {

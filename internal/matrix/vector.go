@@ -82,6 +82,30 @@ func (v Vector) Block(k, w int) Vector {
 	return v[lo:hi].Clone()
 }
 
+// ReuseVec returns a length-n vector backed by v's storage when its
+// capacity allows, and a fresh vector otherwise. The contents are
+// arbitrary (not zeroed) — the vector counterpart of Reuse, for
+// workspaces that fully overwrite before reading.
+func ReuseVec(v Vector, n int) Vector {
+	if cap(v) < n {
+		return make(Vector, n)
+	}
+	return v[:n]
+}
+
+// ReuseSlice returns a zero-valued length-n slice backed by s's storage
+// when its capacity allows, and a fresh slice otherwise. Unlike ReuseVec
+// the result is cleared — it exists for the per-pass stat and error slots
+// the solver workspaces reduce after each barrier.
+func ReuseSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // RandomDense fills a rows×cols matrix with small integers in [-bound,bound],
 // drawn from rng. Small integers keep float64 arithmetic exact, so simulator
 // output can be compared bit-for-bit with the reference computation.

@@ -1,0 +1,65 @@
+package schedule
+
+import "repro/internal/dbt"
+
+// PlanMemo is a single-goroutine memo of resolved plans, layered in front
+// of the process-wide caches. The global caches are concurrency-safe but
+// their sync.Map lookups box the key on every call — a per-call allocation
+// the zero-alloc solver path cannot afford. A PlanMemo remembers every
+// (shape → plan) pair its owner has resolved in plain Go maps (struct keys,
+// no boxing, no allocation on the steady-state hit path), so a scratch
+// arena replaying many same-shape passes touches the global caches once per
+// shape. Plans are immutable and shared freely, so memoizing them is safe;
+// the memo itself must not be shared between goroutines — each executor
+// array owns one.
+type PlanMemo struct {
+	mv  map[matvecKey]*MatVec
+	mm  map[matmulKey]*MatMul
+	tri map[trisolveKey]*TriSolve
+}
+
+// NewPlanMemo returns an empty memo.
+func NewPlanMemo() *PlanMemo {
+	return &PlanMemo{
+		mv:  make(map[matvecKey]*MatVec),
+		mm:  make(map[matmulKey]*MatMul),
+		tri: make(map[trisolveKey]*TriSolve),
+	}
+}
+
+// MatVecFor is MatVecFor through the memo: the owner's previously resolved
+// plan when the shape has been seen, the shared cache otherwise.
+func (pm *PlanMemo) MatVecFor(t *dbt.MatVec, overlap bool) (*MatVec, error) {
+	key := matvecKey{w: t.W, nbar: t.NBar, mbar: t.MBar, variant: 0, overlap: overlap}
+	if s, ok := pm.mv[key]; ok {
+		return s, nil
+	}
+	s, err := MatVecFor(t, overlap)
+	if err != nil {
+		return nil, err
+	}
+	pm.mv[key] = s
+	return s, nil
+}
+
+// MatMulFor is MatMulFor through the memo.
+func (pm *PlanMemo) MatMulFor(t *dbt.MatMul) *MatMul {
+	key := matmulKey{w: t.W, nbar: t.NBar, pbar: t.PBar, mbar: t.MBar}
+	if s, ok := pm.mm[key]; ok {
+		return s
+	}
+	s := MatMulFor(t)
+	pm.mm[key] = s
+	return s
+}
+
+// TriSolveFor is TriSolveFor through the memo.
+func (pm *PlanMemo) TriSolveFor(n, w int) *TriSolve {
+	key := trisolveKey{w: w, n: n}
+	if s, ok := pm.tri[key]; ok {
+		return s
+	}
+	s := TriSolveFor(n, w)
+	pm.tri[key] = s
+	return s
+}

@@ -1,0 +1,43 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// TestWorkspaceZeroAlloc pins the compiled-path allocation diet: once a
+// workspace is warm (plans compiled, buffers grown), repeated solves on it
+// must allocate nothing — the property BenchmarkSolverEngines' compiled
+// rows report as 0 allocs/op.
+func TestWorkspaceZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	rng := rand.New(rand.NewSource(405))
+	w, n := 4, 24
+	a, _ := diagonallyDominant(rng, n)
+	d := a.MulVec(matrix.RandomVector(rng, n, 3), nil)
+	ws := NewWorkspace(w)
+	opts := Options{Engine: core.EngineCompiled}
+	// Warm: compile every plan shape and grow every buffer.
+	if _, _, err := ws.Solve(a, d, opts); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, _, _, err := ws.BlockLU(a, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("BlockLU steady state allocates %v objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := ws.Solve(a, d, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Solve steady state allocates %v objects/op, want 0", allocs)
+	}
+}

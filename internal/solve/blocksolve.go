@@ -1,9 +1,6 @@
 package solve
 
 import (
-	"fmt"
-
-	"repro/internal/blockpart"
 	"repro/internal/matrix"
 )
 
@@ -21,22 +18,5 @@ import (
 // bit-identical to Solve's on the original rows whenever n is already a
 // block multiple, and agrees to factorization order otherwise.
 func BlockPartitionedSolve(a *matrix.Dense, d matrix.Vector, w int, opts Options) (matrix.Vector, *SolveStats, error) {
-	n := a.Rows()
-	if a.Cols() != n {
-		return nil, nil, fmt.Errorf("solve: BlockPartitionedSolve needs a square matrix, got %d×%d", n, a.Cols())
-	}
-	if len(d) != n {
-		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
-	}
-	grid := blockpart.Partition(a, w)
-	padded := grid.PaddedIdentity()
-	dp := d.Pad(padded.Rows())
-	xp, stats, err := Solve(padded, dp, w, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	x := make(matrix.Vector, n)
-	copy(x, xp[:n])
-	stats.Residual = residual(a, x, d)
-	return x, stats, nil
+	return NewWorkspaceExecutor(w, opts.Executor).BlockPartitionedSolve(a, d, opts)
 }

@@ -1,11 +1,8 @@
 package solve
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/matrix"
-	"repro/internal/trisolve"
 )
 
 // The full direct solve: A·x = d factored as L·U on the hexagonal array,
@@ -27,39 +24,15 @@ type SolveStats struct {
 }
 
 // Solve solves A·x = d directly: block LU factorization with trailing
-// updates on the hexagonal array, then the two triangular systems on the
-// triangular-solver and matvec arrays. A must be square with nonsingular
-// leading minors (e.g. diagonally dominant); w is the array size.
+// updates on the hexagonal array (tile passes fanned across opts.Executor
+// when one is attached), then the two triangular systems on the
+// triangular-solver and matvec arrays (right-looking, with the same
+// per-step fan-out). A must be square with nonsingular leading minors
+// (e.g. diagonally dominant); w is the array size. The implementation
+// lives on Workspace.Solve — use a Workspace directly for repeated
+// steady-state solves.
 func Solve(a *matrix.Dense, d matrix.Vector, w int, opts Options) (matrix.Vector, *SolveStats, error) {
-	n := a.Rows()
-	if a.Cols() != n {
-		return nil, nil, fmt.Errorf("solve: Solve needs a square matrix, got %d×%d", n, a.Cols())
-	}
-	if len(d) != n {
-		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
-	}
-	l, u, luStats, err := BlockLU(a, w, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	ts := trisolve.NewSolverEngine(w, opts.Engine)
-	fw, err := ts.SolveLower(l, d)
-	if err != nil {
-		return nil, nil, err
-	}
-	bw, err := ts.SolveUpper(u, fw.X)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := &SolveStats{
-		LU:           *luStats,
-		TriSteps:     fw.TriSteps + bw.TriSteps,
-		TriPasses:    fw.TriPasses + bw.TriPasses,
-		MatVecSteps:  fw.MatVecSteps + bw.MatVecSteps,
-		MatVecPasses: fw.MatVecPasses + bw.MatVecPasses,
-		Residual:     residual(a, bw.X, d),
-	}
-	return bw.X, stats, nil
+	return NewWorkspaceExecutor(w, opts.Executor).Solve(a, d, opts)
 }
 
 // Problem is one independent A·x = d problem of a batch.

@@ -21,100 +21,21 @@ type LUStats struct {
 
 // BlockLU factors a square matrix A = L·U without pivoting, block size w:
 // a right-looking block algorithm whose trailing updates
-// A₂₂ ← A₂₂ − L₂₁·U₁₂ each run as a single hexagonal-array pass
-// (C = (−L₂₁)·U₁₂ + E with E = A₂₂ — the array's additive input doing the
-// subtraction). L is unit lower triangular, U upper triangular. A must
-// have nonsingular leading minors (e.g. diagonally dominant).
+// A₂₂ ← A₂₂ − L₂₁·U₁₂ run as hexagonal-array passes, one per w-wide column
+// tile (C = (−L₂₁)·U₁₂ + E with E = A₂₂ — the array's additive input doing
+// the subtraction). The tile passes of one elimination step are
+// independent; with opts.Executor they fan out across a pool of simulated
+// arrays, bit-identical to the serial order. L is unit lower triangular, U
+// upper triangular. A must have nonsingular leading minors (e.g.
+// diagonally dominant).
 //
 // The paper's conclusions (§4) list L-U decomposition among the problems
 // the methodology solves; the w×w diagonal-block factorizations and panel
-// substitutions stay on the host (see DESIGN.md §4).
+// substitutions stay on the host (see DESIGN.md §4). The implementation
+// lives on Workspace.BlockLU — use a Workspace directly for repeated
+// steady-state solves.
 func BlockLU(a *matrix.Dense, w int, opts Options) (l, u *matrix.Dense, stats *LUStats, err error) {
-	n := a.Rows()
-	if a.Cols() != n {
-		return nil, nil, nil, fmt.Errorf("solve: BlockLU needs a square matrix, got %d×%d", n, a.Cols())
-	}
-	work := a.Clone()
-	l = matrix.NewDense(n, n)
-	u = matrix.NewDense(n, n)
-	stats = &LUStats{}
-	solver := core.NewMatMulSolver(w)
-
-	for k0 := 0; k0 < n; k0 += w {
-		k1 := k0 + w
-		if k1 > n {
-			k1 = n
-		}
-		// Host: factor the diagonal block (Doolittle, unit L).
-		for i := k0; i < k1; i++ {
-			for j := k0; j < k1; j++ {
-				s := work.At(i, j)
-				for t := k0; t < min(i, j); t++ {
-					s -= l.At(i, t) * u.At(t, j)
-					stats.HostOps += 2
-				}
-				if j >= i {
-					u.Set(i, j, s)
-				} else {
-					if u.At(j, j) == 0 {
-						return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
-					}
-					l.Set(i, j, s/u.At(j, j))
-					stats.HostOps++
-				}
-			}
-			l.Set(i, i, 1)
-		}
-		if k1 == n {
-			break
-		}
-		// Host: panels. L₂₁ = A₂₁·U₁₁⁻¹ (back substitution per row),
-		// U₁₂ = L₁₁⁻¹·A₁₂ (forward substitution per column).
-		for i := k1; i < n; i++ {
-			for j := k0; j < k1; j++ {
-				s := work.At(i, j)
-				for t := k0; t < j; t++ {
-					s -= l.At(i, t) * u.At(t, j)
-					stats.HostOps += 2
-				}
-				if u.At(j, j) == 0 {
-					return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
-				}
-				l.Set(i, j, s/u.At(j, j))
-				stats.HostOps++
-			}
-		}
-		for j := k1; j < n; j++ {
-			for i := k0; i < k1; i++ {
-				s := work.At(i, j)
-				for t := k0; t < i; t++ {
-					s -= l.At(i, t) * u.At(t, j)
-					stats.HostOps += 2
-				}
-				u.Set(i, j, s)
-			}
-		}
-		// Array: trailing update A₂₂ ← (−L₂₁)·U₁₂ + A₂₂ in one pass.
-		negL := matrix.NewDense(n-k1, k1-k0)
-		for i := k1; i < n; i++ {
-			for j := k0; j < k1; j++ {
-				negL.Set(i-k1, j-k0, -l.At(i, j))
-			}
-		}
-		res, err := solver.Solve(negL, u.Slice(k0, k1, k1, n),
-			core.MatMulOptions{E: work.Slice(k1, n, k1, n), Engine: opts.Engine})
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		stats.ArraySteps += res.Stats.T
-		stats.ArrayPasses++
-		for i := k1; i < n; i++ {
-			for j := k1; j < n; j++ {
-				work.Set(i, j, res.C.At(i-k1, j-k1))
-			}
-		}
-	}
-	return l, u, stats, nil
+	return NewWorkspaceExecutor(w, opts.Executor).BlockLU(a, opts)
 }
 
 // LowerTriangularInverse inverts a lower triangular matrix by blocks:

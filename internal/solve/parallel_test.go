@@ -1,0 +1,136 @@
+package solve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// The intra-solve parallel contract: the blocked solvers decompose every
+// elimination step into the same pass set with and without an executor, so
+// results AND statistics must be bit-identical at every worker count, on
+// both engines, serial or fanned out. These tests enforce exactly that.
+
+// TestParallelBlockLUEquiv: parallel BlockLU ≡ serial compiled ≡ serial
+// oracle, factors and stats DeepEqual, across worker counts and shapes.
+func TestParallelBlockLUEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for _, w := range []int{1, 2, 3, 4} {
+		for _, n := range []int{1, w, 2*w + 1, 3 * w, 17} {
+			a, _ := diagonallyDominant(rng, n)
+			l0, u0, st0, err := BlockLU(a, w, Options{Engine: core.EngineCompiled})
+			if err != nil {
+				t.Fatalf("serial compiled BlockLU (w=%d n=%d): %v", w, n, err)
+			}
+			lo, uo, sto, err := BlockLU(a, w, Options{Engine: core.EngineOracle})
+			if err != nil {
+				t.Fatalf("serial oracle BlockLU (w=%d n=%d): %v", w, n, err)
+			}
+			if !l0.Equal(lo, 0) || !u0.Equal(uo, 0) || !reflect.DeepEqual(st0, sto) {
+				t.Fatalf("w=%d n=%d: engines disagree serially", w, n)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				ex := core.NewExecutor(workers)
+				for _, eng := range []core.Engine{core.EngineCompiled, core.EngineOracle} {
+					l1, u1, st1, err := BlockLU(a, w, Options{Engine: eng, Executor: ex})
+					if err != nil {
+						t.Fatalf("parallel %v BlockLU (w=%d n=%d workers=%d): %v", eng, w, n, workers, err)
+					}
+					if !l0.Equal(l1, 0) || !u0.Equal(u1, 0) || !reflect.DeepEqual(st0, st1) {
+						t.Fatalf("w=%d n=%d workers=%d %v: parallel BlockLU differs from serial\nserial   %+v\nparallel %+v",
+							w, n, workers, eng, st0, st1)
+					}
+				}
+				ex.Close()
+			}
+		}
+	}
+}
+
+// TestParallelSolveEquiv: parallel full Solve and BlockPartitionedSolve ≡
+// their serial runs, solution and stats DeepEqual, across worker counts.
+func TestParallelSolveEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for _, w := range []int{2, 3, 4} {
+		for _, n := range []int{1, w, 2*w + 1, 14} {
+			a, _ := diagonallyDominant(rng, n)
+			want := matrix.RandomVector(rng, n, 4)
+			d := a.MulVec(want, nil)
+			x0, st0, err := Solve(a, d, w, Options{Engine: core.EngineCompiled})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !x0.Equal(want, 1e-7) {
+				t.Fatalf("w=%d n=%d: wrong serial solution", w, n)
+			}
+			xb0, stb0, err := BlockPartitionedSolve(a, d, w, Options{Engine: core.EngineCompiled})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3} {
+				ex := core.NewExecutor(workers)
+				x1, st1, err := Solve(a, d, w, Options{Engine: core.EngineCompiled, Executor: ex})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !x0.Equal(x1, 0) || !reflect.DeepEqual(st0, st1) {
+					t.Fatalf("w=%d n=%d workers=%d: parallel Solve differs\nserial   %+v\nparallel %+v",
+						w, n, workers, st0, st1)
+				}
+				xb1, stb1, err := BlockPartitionedSolve(a, d, w, Options{Engine: core.EngineCompiled, Executor: ex})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !xb0.Equal(xb1, 0) || !reflect.DeepEqual(stb0, stb1) {
+					t.Fatalf("w=%d n=%d workers=%d: parallel BlockPartitionedSolve differs", w, n, workers)
+				}
+				ex.Close()
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuse: repeated solves on one workspace — different
+// problems, different shapes — must match fresh-workspace solves exactly
+// (no state leaking between calls).
+func TestWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	w := 3
+	ws := NewWorkspace(w)
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(14)
+		a, _ := diagonallyDominant(rng, n)
+		d := a.MulVec(matrix.RandomVector(rng, n, 4), nil)
+		x, st, err := ws.Solve(a, d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xf, stf, err := Solve(a, d, w, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !x.Equal(xf, 0) || !reflect.DeepEqual(st, stf) {
+			t.Fatalf("trial %d (n=%d): reused workspace differs from fresh", trial, n)
+		}
+	}
+}
+
+// TestParallelErrorPropagation: a zero pivot must surface as the same
+// error with an executor attached, and the executor must stay usable.
+func TestParallelErrorPropagation(t *testing.T) {
+	ex := core.NewExecutor(2)
+	defer ex.Close()
+	singular := matrix.NewDense(4, 4) // all zeros: pivot fails immediately
+	if _, _, _, err := BlockLU(singular, 2, Options{Executor: ex}); err == nil {
+		t.Fatal("want zero-pivot error")
+	}
+	// The executor survives and still runs healthy work.
+	rng := rand.New(rand.NewSource(404))
+	a, _ := diagonallyDominant(rng, 6)
+	if _, _, _, err := BlockLU(a, 2, Options{Executor: ex}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,6 +30,14 @@ type Options struct {
 	// issues (core.EngineAuto: the compiled fast path). Both engines return
 	// bit-identical results, so Engine only changes simulation cost.
 	Engine core.Engine
+	// Executor, when non-nil, fans the independent array passes of each
+	// elimination step (BlockLU trailing-update tiles, triangular-phase
+	// panel updates) out across its pool of simulated arrays, with a
+	// barrier per step. The pass decomposition is identical with and
+	// without an executor, so results and statistics are bit-identical at
+	// every worker count; nil means serial on the caller's goroutine. The
+	// executor is shared, not owned: Close it separately.
+	Executor *core.Executor
 }
 
 // IterStats reports an iterative solve.
@@ -193,12 +201,17 @@ func LowerTriangularSolve(l *matrix.Dense, d matrix.Vector, w int, opts Options)
 	return y, stats, nil
 }
 
-// residual returns ‖A·x − d‖∞.
+// residual returns ‖A·x − d‖∞ without allocating: each row's dot product
+// accumulates in the same order as matrix.Dense.MulVec, so the value is
+// bit-identical to the allocating formulation it replaced.
 func residual(a *matrix.Dense, x, d matrix.Vector) float64 {
-	y := a.MulVec(x, nil)
 	r := 0.0
-	for i := range d {
-		if v := math.Abs(y[i] - d[i]); v > r {
+	for i := 0; i < a.Rows(); i++ {
+		s := 0.0
+		for j, v := range a.RawRow(i) {
+			s += v * x[j]
+		}
+		if v := math.Abs(s - d[i]); v > r {
 			r = v
 		}
 	}

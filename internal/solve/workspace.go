@@ -1,0 +1,273 @@
+package solve
+
+import (
+	"fmt"
+
+	"repro/internal/blockpart"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/trisolve"
+)
+
+// Workspace is the steady-state entry point of the blocked direct solvers:
+// it owns every long-lived buffer of a solve (working copy, factors,
+// panels, solution vectors, stats) plus a serial pass arena, and
+// optionally fans the independent passes of each elimination step out
+// across a core.Executor. Repeated solves on one workspace reuse all of it,
+// so the compiled path allocates nothing in the steady state
+// (BenchmarkSolverEngines' compiled rows run at 0 allocs/op).
+//
+// Ownership: a workspace belongs to one goroutine; the matrices, vector
+// and stats a call returns are workspace-owned and valid until the next
+// call on the same workspace (the one-shot package functions hand a fresh
+// workspace's buffers to the caller, which is why they may return them).
+//
+// Parallel decomposition: BlockLU runs each elimination step as the host
+// panel factorization followed by one hexagonal-array pass per w-wide
+// column tile of the trailing update — always the same pass set, fanned
+// across the executor's arrays when one is attached and run inline
+// otherwise, with a barrier per step. Per-pass statistics land in
+// index-addressed slots and are reduced in submission order, so results
+// and stats are bit-identical at every worker count and on both engines.
+type Workspace struct {
+	w    int
+	exec *core.Executor
+	ar   *core.Arena
+	tri  *trisolve.Workspace
+
+	work, l, u *matrix.Dense
+	negL       *matrix.Dense
+	passSteps  []int
+	passErrs   []error
+	lu         LUStats
+	stats      SolveStats
+	fwX, x     matrix.Vector
+	padded     *matrix.Dense
+	dp, xout   matrix.Vector
+}
+
+// NewWorkspace returns a serial workspace for array size w: every pass
+// runs inline on the caller's goroutine.
+func NewWorkspace(w int) *Workspace { return NewWorkspaceExecutor(w, nil) }
+
+// NewWorkspaceExecutor returns a workspace whose independent passes fan
+// out across exec's simulated arrays (nil exec = serial). The executor is
+// shared, not owned: Close it separately.
+func NewWorkspaceExecutor(w int, exec *core.Executor) *Workspace {
+	if w < 1 {
+		panic(fmt.Sprintf("solve: invalid array size %d", w))
+	}
+	return &Workspace{
+		w: w, exec: exec,
+		ar:  core.NewArena(),
+		tri: trisolve.NewWorkspaceExecutor(w, exec),
+	}
+}
+
+// BlockLU factors A = L·U without pivoting exactly as the package-level
+// BlockLU (which delegates here), with the trailing update of each
+// elimination step decomposed into per-column-tile array passes that fan
+// out across the executor. The returned factors and stats are
+// workspace-owned.
+func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense, stats *LUStats, err error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, nil, fmt.Errorf("solve: BlockLU needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	w := ws.w
+	ws.work = matrix.CloneInto(ws.work, a)
+	ws.l = matrix.ReuseZero(ws.l, n, n)
+	ws.u = matrix.ReuseZero(ws.u, n, n)
+	ws.lu = LUStats{}
+	work, lf, uf := ws.work, ws.l, ws.u
+	stats = &ws.lu
+
+	for k0 := 0; k0 < n; k0 += w {
+		k1 := k0 + w
+		if k1 > n {
+			k1 = n
+		}
+		// Host: factor the diagonal block (Doolittle, unit L).
+		for i := k0; i < k1; i++ {
+			for j := k0; j < k1; j++ {
+				s := work.At(i, j)
+				for t := k0; t < min(i, j); t++ {
+					s -= lf.At(i, t) * uf.At(t, j)
+					stats.HostOps += 2
+				}
+				if j >= i {
+					uf.Set(i, j, s)
+				} else {
+					if uf.At(j, j) == 0 {
+						return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
+					}
+					lf.Set(i, j, s/uf.At(j, j))
+					stats.HostOps++
+				}
+			}
+			lf.Set(i, i, 1)
+		}
+		if k1 == n {
+			break
+		}
+		// Host: panels. L₂₁ = A₂₁·U₁₁⁻¹ (back substitution per row),
+		// U₁₂ = L₁₁⁻¹·A₁₂ (forward substitution per column).
+		for i := k1; i < n; i++ {
+			for j := k0; j < k1; j++ {
+				s := work.At(i, j)
+				for t := k0; t < j; t++ {
+					s -= lf.At(i, t) * uf.At(t, j)
+					stats.HostOps += 2
+				}
+				if uf.At(j, j) == 0 {
+					return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
+				}
+				lf.Set(i, j, s/uf.At(j, j))
+				stats.HostOps++
+			}
+		}
+		for j := k1; j < n; j++ {
+			for i := k0; i < k1; i++ {
+				s := work.At(i, j)
+				for t := k0; t < i; t++ {
+					s -= lf.At(i, t) * uf.At(t, j)
+					stats.HostOps += 2
+				}
+				uf.Set(i, j, s)
+			}
+		}
+		// Array: trailing update A₂₂ ← (−L₂₁)·U₁₂ + A₂₂, one pass per
+		// w-wide column tile — the independent panel updates of this
+		// elimination step. The pass set never depends on the worker count.
+		ws.negL = matrix.Reuse(ws.negL, n-k1, k1-k0)
+		for i := k1; i < n; i++ {
+			for j := k0; j < k1; j++ {
+				ws.negL.Set(i-k1, j-k0, -lf.At(i, j))
+			}
+		}
+		count := (n - k1 + w - 1) / w
+		ws.passSteps = matrix.ReuseSlice[int](ws.passSteps, count)
+		ws.passErrs = matrix.ReuseSlice[error](ws.passErrs, count)
+		slot := 0
+		for j0 := k1; j0 < n; j0 += w {
+			j1 := j0 + w
+			if j1 > n {
+				j1 = n
+			}
+			if ws.exec == nil {
+				ws.ar.Reset()
+				ws.trailingTile(ws.ar, k0, k1, j0, j1, slot, opts.Engine)
+			} else {
+				ws.submitTile(k0, k1, j0, j1, slot, opts.Engine)
+			}
+			slot++
+		}
+		if ws.exec != nil {
+			ws.exec.Barrier()
+		}
+		for _, err := range ws.passErrs[:count] {
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		for _, s := range ws.passSteps[:count] {
+			stats.ArraySteps += s
+		}
+		stats.ArrayPasses += count
+	}
+	return lf, uf, stats, nil
+}
+
+// submitTile enqueues one trailing tile on the executor. It lives outside
+// the elimination loop so the task closure's captures never force the
+// loop's locals onto the heap on the serial path.
+func (ws *Workspace) submitTile(k0, k1, j0, j1, slot int, eng core.Engine) {
+	ws.exec.Submit(func(_ int, ar *core.Arena) {
+		ws.trailingTile(ar, k0, k1, j0, j1, slot, eng)
+	})
+}
+
+// trailingTile is one fan-out task of a BlockLU elimination step:
+// work[k1:n, j0:j1] ← (−L₂₁)·U₁₂[:, j0:j1] + work[k1:n, j0:j1] as a single
+// hexagonal-array pass on the task's arena.
+func (ws *Workspace) trailingTile(ar *core.Arena, k0, k1, j0, j1, slot int, eng core.Engine) {
+	n := ws.work.Rows()
+	bPanel := matrix.SliceInto(ar.Dense(k1-k0, j1-j0), ws.u, k0, k1, j0, j1)
+	ePanel := matrix.SliceInto(ar.Dense(n-k1, j1-j0), ws.work, k1, n, j0, j1)
+	dst := ar.Dense(n-k1, j1-j0)
+	steps, err := ar.MatMulPass(dst, ws.negL, bPanel, ePanel, ws.w, eng)
+	if err != nil {
+		ws.passErrs[slot] = err
+		return
+	}
+	ws.passSteps[slot] = steps
+	ws.work.SetRect(k1, j0, dst)
+}
+
+// Solve solves A·x = d directly exactly as the package-level Solve (which
+// delegates here): parallel block LU, then the two triangular phases on
+// the workspace's trisolve substrate. The returned vector and stats are
+// workspace-owned.
+func (ws *Workspace) Solve(a *matrix.Dense, d matrix.Vector, opts Options) (matrix.Vector, *SolveStats, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("solve: Solve needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	if len(d) != n {
+		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
+	}
+	lf, uf, luStats, err := ws.BlockLU(a, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws.fwX = matrix.ReuseVec(ws.fwX, n)
+	fw, err := ws.tri.SolveLowerInto(ws.fwX, lf, d, opts.Engine)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws.x = matrix.ReuseVec(ws.x, n)
+	bw, err := ws.tri.SolveUpperInto(ws.x, uf, ws.fwX, opts.Engine)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws.stats = SolveStats{
+		LU:           *luStats,
+		TriSteps:     fw.TriSteps + bw.TriSteps,
+		TriPasses:    fw.TriPasses + bw.TriPasses,
+		MatVecSteps:  fw.MatVecSteps + bw.MatVecSteps,
+		MatVecPasses: fw.MatVecPasses + bw.MatVecPasses,
+		Residual:     residual(a, ws.x, d),
+	}
+	return ws.x, &ws.stats, nil
+}
+
+// BlockPartitionedSolve solves A·x = d through the identity-padded block
+// embedding exactly as the package-level BlockPartitionedSolve (which
+// delegates here). The returned vector and stats are workspace-owned.
+func (ws *Workspace) BlockPartitionedSolve(a *matrix.Dense, d matrix.Vector, opts Options) (matrix.Vector, *SolveStats, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, nil, fmt.Errorf("solve: BlockPartitionedSolve needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	if len(d) != n {
+		return nil, nil, fmt.Errorf("solve: len(d)=%d, want %d", len(d), n)
+	}
+	// The Grid.PaddedIdentity embedding without the grid: zero-pad to the
+	// block multiple and put ones on the padding diagonal.
+	pn := blockpart.Ceil(n, ws.w) * ws.w
+	ws.padded = matrix.PadInto(ws.padded, a, pn, pn)
+	for i := n; i < pn; i++ {
+		ws.padded.Set(i, i, 1)
+	}
+	ws.dp = matrix.ReuseVec(ws.dp, pn)
+	copy(ws.dp, d)
+	clear(ws.dp[n:])
+	xp, stats, err := ws.Solve(ws.padded, ws.dp, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws.xout = matrix.ReuseVec(ws.xout, n)
+	copy(ws.xout, xp[:n])
+	stats.Residual = residual(a, ws.xout, d)
+	return ws.xout, stats, nil
+}

@@ -1,0 +1,278 @@
+package trisolve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+)
+
+// Workspace is the steady-state entry point of the dense triangular
+// solver: a reusable scratch set (rhs, packed diagonal bands, mirrors, a
+// plan memo) plus an optional pass executor. Its solves write into
+// caller-provided buffers and allocate nothing once warmed on the compiled
+// engine.
+//
+// Unlike Solver.SolveLower (left-looking: one accumulated off-diagonal
+// pass per block row), a Workspace solve is *right-looking*: after block
+// row rb's diagonal solve on the triangular array, every later block row
+// jb > rb subtracts its panel product L[jb, rb]·x[rb] — independent
+// matrix–vector passes over disjoint rhs blocks, which fan out across the
+// executor's arrays with a barrier per elimination step. The pass set is
+// the same at every worker count (and on both engines), so results and
+// statistics are bit-identical serial or parallel.
+//
+// A Workspace belongs to one goroutine; results written into caller
+// buffers are the caller's, everything else is reused by the next call.
+type Workspace struct {
+	w    int
+	exec *core.Executor
+	ar   *core.Arena
+	tri  *Array
+
+	rhs       matrix.Vector
+	lpack     []float64
+	mirror    *matrix.Dense
+	revb      matrix.Vector
+	xrev      matrix.Vector
+	passSteps []int
+	passErrs  []error
+}
+
+// PassStats counts the array work of one workspace solve, split by array
+// (the triangular solver array vs the matvec array running the panels).
+type PassStats struct {
+	// TriSteps and TriPasses account the diagonal-block band solves.
+	TriSteps, TriPasses int
+	// MatVecSteps and MatVecPasses account the off-diagonal panel updates.
+	MatVecSteps, MatVecPasses int
+}
+
+// NewWorkspace returns a serial workspace for array size w: every pass
+// runs inline on the caller's goroutine.
+func NewWorkspace(w int) *Workspace { return NewWorkspaceExecutor(w, nil) }
+
+// NewWorkspaceExecutor returns a workspace whose independent panel passes
+// fan out across exec's simulated arrays (nil exec = serial). The executor
+// is shared, not owned: Close it separately.
+func NewWorkspaceExecutor(w int, exec *core.Executor) *Workspace {
+	if w < 1 {
+		panic(fmt.Sprintf("trisolve: invalid array size %d", w))
+	}
+	return &Workspace{
+		w: w, exec: exec,
+		ar:  core.NewArena(),
+		tri: New(w),
+	}
+}
+
+// SolveBandInto solves the band system L·x = b into dst (len = n) on the
+// selected engine and returns the measured step count. It is the
+// zero-steady-state-allocation counterpart of Array.SolveBandEngine (which
+// see for the validation panics).
+func (tw *Workspace) SolveBandInto(dst matrix.Vector, l *matrix.Band, b matrix.Vector, eng core.Engine) (int, error) {
+	validateBand(l, b, tw.w)
+	n := l.Rows()
+	if len(dst) != n {
+		panic(fmt.Sprintf("trisolve: SolveBandInto dst len %d, want %d", len(dst), n))
+	}
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return 0, err
+	}
+	if !useCompiled {
+		res := tw.tri.SolveBand(l, b)
+		copy(dst, res.X)
+		return res.T, nil
+	}
+	sch := tw.ar.Plans().TriSolveFor(n, tw.w)
+	if n > 0 {
+		tw.lpack = matrix.ReuseVec(tw.lpack, n*tw.w)
+		dbt.PackTriBand(l, tw.w, tw.lpack)
+		sch.Exec(tw.lpack, b, dst)
+	}
+	return sch.T, nil
+}
+
+// SolveLowerInto solves L·x = b for a dense lower triangular L into dst
+// (len = n) with every arithmetic operation inside a fixed-size array,
+// right-looking with per-step panel fan-out. Stats are returned by value;
+// dst must not alias b.
+func (tw *Workspace) SolveLowerInto(dst matrix.Vector, l *matrix.Dense, b matrix.Vector, eng core.Engine) (PassStats, error) {
+	var stats PassStats
+	n := l.Rows()
+	if l.Cols() != n {
+		return stats, fmt.Errorf("trisolve: matrix is %d×%d, want square", n, l.Cols())
+	}
+	if len(b) != n {
+		return stats, fmt.Errorf("trisolve: len(b)=%d, want %d", len(b), n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("trisolve: SolveLowerInto dst len %d, want %d", len(dst), n))
+	}
+	for i := 0; i < n; i++ {
+		if l.At(i, i) == 0 {
+			return stats, fmt.Errorf("trisolve: singular diagonal at %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if l.At(i, j) != 0 {
+				return stats, fmt.Errorf("trisolve: L[%d][%d] ≠ 0: not lower triangular", i, j)
+			}
+		}
+	}
+	w := tw.w
+	tw.rhs = matrix.ReuseVec(tw.rhs, n)
+	copy(tw.rhs, b)
+	nb := (n + w - 1) / w
+	for rb := 0; rb < nb; rb++ {
+		lo, hi := rb*w, (rb+1)*w
+		if hi > n {
+			hi = n
+		}
+		// Diagonal block on the triangular array.
+		steps, err := tw.solveDiagonal(dst, l, lo, hi, eng)
+		if err != nil {
+			return stats, err
+		}
+		stats.TriSteps += steps
+		stats.TriPasses++
+		// Fan the trailing panel updates of this step out: block row jb
+		// subtracts L[jb, rb]·x[rb] from its rhs block — disjoint writes,
+		// shared read-only x — then the barrier closes the step.
+		count := nb - rb - 1
+		if count == 0 {
+			continue
+		}
+		tw.passSteps = matrix.ReuseSlice[int](tw.passSteps, count)
+		tw.passErrs = matrix.ReuseSlice[error](tw.passErrs, count)
+		for jb := rb + 1; jb < nb; jb++ {
+			jlo, jhi := jb*w, (jb+1)*w
+			if jhi > n {
+				jhi = n
+			}
+			slot := jb - rb - 1
+			if tw.exec == nil {
+				tw.ar.Reset()
+				tw.updatePanel(tw.ar, l, dst, lo, hi, jlo, jhi, slot, eng)
+			} else {
+				tw.submitPanel(l, dst, lo, hi, jlo, jhi, slot, eng)
+			}
+		}
+		if tw.exec != nil {
+			tw.exec.Barrier()
+		}
+		for _, err := range tw.passErrs[:count] {
+			if err != nil {
+				return stats, err
+			}
+		}
+		for _, s := range tw.passSteps[:count] {
+			stats.MatVecSteps += s
+		}
+		stats.MatVecPasses += count
+	}
+	return stats, nil
+}
+
+// solveDiagonal runs the diagonal block [lo,hi) on the triangular array,
+// reading rhs and writing dst[lo:hi].
+func (tw *Workspace) solveDiagonal(dst matrix.Vector, l *matrix.Dense, lo, hi int, eng core.Engine) (int, error) {
+	w := tw.w
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return 0, err
+	}
+	d := hi - lo
+	if !useCompiled {
+		// A dense w×w lower triangle is exactly a lower band of bandwidth w
+		// in local indices (oracle path; allocation here is fine).
+		blk := matrix.NewBand(d, d, -(w - 1), 0)
+		for i := lo; i < hi; i++ {
+			for j := lo; j <= i; j++ {
+				if v := l.At(i, j); v != 0 || i == j {
+					blk.Set(i-lo, j-lo, v)
+				}
+			}
+		}
+		res := tw.tri.SolveBand(blk, tw.rhs[lo:hi])
+		copy(dst[lo:hi], res.X)
+		return res.T, nil
+	}
+	// Compiled: pack the triangular band straight from the dense block
+	// (dbt.PackTriBand layout) and replay the plan into dst.
+	tw.lpack = matrix.ReuseVec(tw.lpack, d*w)
+	for r := 0; r < d; r++ {
+		row := tw.lpack[r*w : (r+1)*w]
+		for k := range row {
+			if r-k >= 0 {
+				row[k] = l.At(lo+r, lo+r-k)
+			} else {
+				row[k] = 0
+			}
+		}
+	}
+	sch := tw.ar.Plans().TriSolveFor(d, w)
+	sch.Exec(tw.lpack, tw.rhs[lo:hi], dst[lo:hi])
+	return sch.T, nil
+}
+
+// submitPanel enqueues one panel update on the executor. It lives outside
+// the elimination loop so the task closure's captures never force the
+// loop's locals onto the heap on the serial path.
+func (tw *Workspace) submitPanel(l *matrix.Dense, x matrix.Vector, lo, hi, jlo, jhi, slot int, eng core.Engine) {
+	tw.exec.Submit(func(_ int, ar *core.Arena) {
+		tw.updatePanel(ar, l, x, lo, hi, jlo, jhi, slot, eng)
+	})
+}
+
+// updatePanel is one fan-out task: rhs[jlo:jhi] −= L[jlo:jhi, lo:hi]·x[lo:hi].
+func (tw *Workspace) updatePanel(ar *core.Arena, l *matrix.Dense, x matrix.Vector, lo, hi, jlo, jhi, slot int, eng core.Engine) {
+	panel := matrix.SliceInto(ar.Dense(jhi-jlo, hi-lo), l, jlo, jhi, lo, hi)
+	mv := matrix.Vector(ar.Floats(jhi - jlo))
+	steps, err := ar.MatVecPass(mv, panel, x[lo:hi], nil, tw.w, eng)
+	if err != nil {
+		tw.passErrs[slot] = err
+		return
+	}
+	tw.passSteps[slot] = steps
+	rhs := tw.rhs[jlo:jhi]
+	for i, v := range mv {
+		rhs[i] -= v
+	}
+}
+
+// SolveUpperInto solves U·x = b for a dense upper triangular U into dst by
+// mirroring it onto the lower solver (see Solver.SolveUpper). dst must not
+// alias b.
+func (tw *Workspace) SolveUpperInto(dst matrix.Vector, u *matrix.Dense, b matrix.Vector, eng core.Engine) (PassStats, error) {
+	n := u.Rows()
+	if u.Cols() != n {
+		return PassStats{}, fmt.Errorf("trisolve: matrix is %d×%d, want square", n, u.Cols())
+	}
+	if len(b) != n {
+		return PassStats{}, fmt.Errorf("trisolve: len(b)=%d, want %d", len(b), n)
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("trisolve: SolveUpperInto dst len %d, want %d", len(dst), n))
+	}
+	tw.mirror = matrix.Reuse(tw.mirror, n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tw.mirror.Set(i, j, u.At(n-1-i, n-1-j))
+		}
+	}
+	tw.revb = matrix.ReuseVec(tw.revb, n)
+	for i := range tw.revb {
+		tw.revb[i] = b[n-1-i]
+	}
+	tw.xrev = matrix.ReuseVec(tw.xrev, n)
+	stats, err := tw.SolveLowerInto(tw.xrev, tw.mirror, tw.revb, eng)
+	if err != nil {
+		return stats, err
+	}
+	for i := range dst {
+		dst[i] = tw.xrev[n-1-i]
+	}
+	return stats, nil
+}

@@ -1,0 +1,165 @@
+package trisolve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// randomLower builds a unit-free nonsingular dense lower triangular matrix.
+func randomLower(rng *rand.Rand, n int) *matrix.Dense {
+	l := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, float64(rng.Intn(5)-2))
+		}
+		l.Set(i, i, float64(1+rng.Intn(3)))
+	}
+	return l
+}
+
+// TestWorkspaceBandMatchesEngine: SolveBandInto must be bit-identical to
+// Array.SolveBandEngine on both engines, across shapes and reuse.
+func TestWorkspaceBandMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, w := range []int{1, 2, 3, 5} {
+		tw := NewWorkspace(w)
+		ar := New(w)
+		for _, n := range []int{1, 2, w, 2*w + 1, 17} {
+			l := matrix.NewBand(n, n, -(w - 1), 0)
+			for i := 0; i < n; i++ {
+				for d := 1; d < w; d++ {
+					if j := i - d; j >= 0 {
+						l.Set(i, j, float64(rng.Intn(5)-2))
+					}
+				}
+				l.Set(i, i, float64(1+rng.Intn(3)))
+			}
+			b := matrix.RandomVector(rng, n, 4)
+			for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+				ref, err := ar.SolveBandEngine(l, b, eng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				x := make(matrix.Vector, n)
+				steps, err := tw.SolveBandInto(x, l, b, eng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !x.Equal(ref.X, 0) || steps != ref.T {
+					t.Fatalf("%v w=%d n=%d: SolveBandInto differs (T %d vs %d)", eng, w, n, steps, ref.T)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceLowerUpper: the right-looking workspace solver must solve
+// exactly (against reference arithmetic), bit-identically across engines
+// (stats included), and bit-identically at every worker count.
+func TestWorkspaceLowerUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, w := range []int{1, 2, 3, 4} {
+		serial := NewWorkspace(w)
+		for _, n := range []int{1, w, 2*w + 1, 3 * w, 14} {
+			l := randomLower(rng, n)
+			want := matrix.RandomVector(rng, n, 3)
+			b := l.MulVec(want, nil)
+
+			x := make(matrix.Vector, n)
+			st, err := serial.SolveLowerInto(x, l, b, core.EngineCompiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !x.Equal(want, 1e-8) {
+				t.Fatalf("w=%d n=%d: wrong solution (off %g)", w, n, x.MaxAbsDiff(want))
+			}
+			xo := make(matrix.Vector, n)
+			sto, err := serial.SolveLowerInto(xo, l, b, core.EngineOracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !x.Equal(xo, 0) || !reflect.DeepEqual(st, sto) {
+				t.Fatalf("w=%d n=%d: engines disagree\ncompiled %+v\noracle   %+v", w, n, st, sto)
+			}
+			for _, workers := range []int{1, 3} {
+				ex := core.NewExecutor(workers)
+				par := NewWorkspaceExecutor(w, ex)
+				xp := make(matrix.Vector, n)
+				stp, err := par.SolveLowerInto(xp, l, b, core.EngineCompiled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !xp.Equal(x, 0) || !reflect.DeepEqual(stp, st) {
+					t.Fatalf("w=%d n=%d workers=%d: parallel differs from serial", w, n, workers)
+				}
+				ex.Close()
+			}
+
+			// Upper solve through the mirror.
+			u := l.Transpose()
+			bu := u.MulVec(want, nil)
+			xu := make(matrix.Vector, n)
+			stu, err := serial.SolveUpperInto(xu, u, bu, core.EngineCompiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xu.Equal(want, 1e-8) {
+				t.Fatalf("w=%d n=%d: wrong upper solution (off %g)", w, n, xu.MaxAbsDiff(want))
+			}
+			xuo := make(matrix.Vector, n)
+			stuo, err := serial.SolveUpperInto(xuo, u, bu, core.EngineOracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xu.Equal(xuo, 0) || !reflect.DeepEqual(stu, stuo) {
+				t.Fatalf("w=%d n=%d: upper engines disagree", w, n)
+			}
+		}
+	}
+}
+
+// TestWorkspaceMatchesLegacySolver: the workspace's values must equal the
+// left-looking Solver's (same arithmetic grouped differently would drift —
+// on exact small-integer data both must land on the same floats).
+func TestWorkspaceMatchesLegacySolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w, n := 3, 13
+	l := randomLower(rng, n)
+	b := l.MulVec(matrix.RandomVector(rng, n, 3), nil)
+	legacy, err := NewSolver(w).SolveLower(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := NewWorkspace(w)
+	x := make(matrix.Vector, n)
+	if _, err := tw.SolveLowerInto(x, l, b, core.EngineAuto); err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(legacy.X, 0) {
+		t.Fatalf("workspace differs from legacy solver by %g", x.MaxAbsDiff(legacy.X))
+	}
+}
+
+// TestWorkspaceErrors: the workspace rejects the same inputs as the legacy
+// solver.
+func TestWorkspaceErrors(t *testing.T) {
+	tw := NewWorkspace(2)
+	x := make(matrix.Vector, 2)
+	if _, err := tw.SolveLowerInto(x, matrix.NewDense(2, 3), make(matrix.Vector, 2), core.EngineAuto); err == nil {
+		t.Error("expected non-square error")
+	}
+	if _, err := tw.SolveLowerInto(x, matrix.NewDense(2, 2), make(matrix.Vector, 3), core.EngineAuto); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := tw.SolveLowerInto(x, matrix.NewDense(2, 2), make(matrix.Vector, 2), core.EngineAuto); err == nil {
+		t.Error("expected singular error")
+	}
+	notLower := matrix.FromRows([][]float64{{1, 5}, {0, 1}})
+	if _, err := tw.SolveLowerInto(x, notLower, make(matrix.Vector, 2), core.EngineAuto); err == nil {
+		t.Error("expected not-lower-triangular error")
+	}
+}
