@@ -4,6 +4,8 @@
 // every compiled workload (matvec, matmul, trisolve, LU, full solve), the
 // solver workspaces (steady-state, 0 allocs/op on the compiled rows), the
 // intra-solve parallel executor at worker counts {1, 2, NumCPU} (E14), the
+// stream scheduler at shard counts {1, 2, NumCPU} (E15: single-job round
+// trip at 0 allocs/op after warmup, plus deep-pipeline jobs/s), the
 // steady-state compiled execution, and the batch throughput API. It emits
 // BENCH_<date>.json by default, extending the perf trajectory that future
 // changes are judged against; cmd/benchdiff compares two snapshots and
@@ -31,6 +33,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/schedule"
 	"repro/internal/solve"
+	"repro/internal/stream"
 	"repro/internal/trisolve"
 )
 
@@ -300,6 +303,85 @@ func main() {
 				schm.Exec(aPack, bPack, ext, oband)
 			}
 		}))
+
+	// Stream scheduler (E15): sustained compiled stream execution at shard
+	// counts {1, 2, NumCPU}. The single-job rows measure the submit →
+	// execute → redeem round trip on a warm affinity shard and pin the
+	// acceptance criterion: 0 allocs/op per job after warmup. The qps rows
+	// keep a deep mixed-shape pipeline in flight and report jobs/s.
+	avB := matrix.RandomDense(rng, 8*8, 8, 3)
+	xvB := matrix.RandomVector(rng, 8, 3)
+	streamRows := func(name string, shards int, metrics map[string]float64) {
+		s := stream.New(stream.Config{Shards: shards, QueueBound: 256})
+		defer s.Close()
+		dst := make(matrix.Vector, av.Rows())
+		entries = append(entries, bench(fmt.Sprintf("stream/matvec/w=8/nm=16/%s", name), metrics, func(b *testing.B) {
+			b.ReportAllocs()
+			// Warm every shard on the shape (stealing can land early jobs
+			// anywhere) before the measured steady state.
+			for i := 0; i < 64; i++ {
+				tk, err := s.SubmitMatVecInto(dst, av, xv, nil, 8, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk, err := s.SubmitMatVecInto(dst, av, xv, nil, 8, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		}))
+		const depth = 128
+		dsts := make([]matrix.Vector, depth)
+		tickets := make([]stream.PassTicket, depth)
+		for k := range dsts {
+			if k%2 == 0 {
+				dsts[k] = make(matrix.Vector, av.Rows())
+			} else {
+				dsts[k] = make(matrix.Vector, avB.Rows())
+			}
+		}
+		entries = append(entries, bench(fmt.Sprintf("stream-qps/matvec/w=8/mixed/%s", name), metrics, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < depth; k++ {
+					var err error
+					if k%2 == 0 {
+						tickets[k], err = s.SubmitMatVecInto(dsts[k], av, xv, nil, 8, core.EngineCompiled)
+					} else {
+						tickets[k], err = s.SubmitMatVecInto(dsts[k], avB, xvB, nil, 8, core.EngineCompiled)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for k := 0; k < depth; k++ {
+					if _, err := tickets[k].Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(depth*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		}))
+	}
+	for _, shards := range core.PassWorkerLadder(runtime.GOMAXPROCS(0)) {
+		name := fmt.Sprintf("shards=%d", shards)
+		var metrics map[string]float64
+		if shards > 2 {
+			name = "shards=max"
+			metrics = map[string]float64{"shards": float64(shards)}
+		}
+		streamRows(name, shards, metrics)
+	}
 
 	// Batch throughput at full GOMAXPROCS.
 	problems := make([]core.MatVecProblem, 128)

@@ -1,9 +1,11 @@
 // Command figures regenerates the paper's Figs. 1–6 and the appendix
-// tables as text renderings.
+// tables as text renderings, plus a supplementary Fig. 7: the boundary
+// data flow of the Kung–Leiserson band triangular solver array the §4
+// solver claims build on.
 //
 // Usage:
 //
-//	figures              # print all six figures
+//	figures              # print all seven figures
 //	figures -fig 3       # print one figure
 //	figures -appendix    # print the appendix I/O index tables (Fig. 4 shape)
 package main
@@ -17,7 +19,7 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure number 1-6 (0 = all)")
+	fig := flag.Int("fig", 0, "figure number 1-7 (0 = all; 7 is the supplementary trisolve data flow)")
 	appendix := flag.Bool("appendix", false, "print the appendix I-composition and C-extraction tables")
 	flag.Parse()
 	if *appendix {
@@ -31,17 +33,18 @@ func main() {
 		4: figures.Fig4,
 		5: figures.Fig5,
 		6: figures.Fig6,
+		7: figures.Fig7,
 	}
 	if *fig != 0 {
 		f, ok := render[*fig]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "figures: no figure %d (want 1-6)\n", *fig)
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (want 1-7)\n", *fig)
 			os.Exit(2)
 		}
 		fmt.Println(f())
 		return
 	}
-	for i := 1; i <= 6; i++ {
+	for i := 1; i <= 7; i++ {
 		fmt.Println(render[i]())
 		fmt.Println()
 	}

@@ -9,11 +9,15 @@
 // cycle-accurate structural oracle and the compiled-schedule fast path,
 // with results and stats compared bit-for-bit. The solvers category also
 // exercises the full direct solve and the block-partitioned embedding, and
-// replays block LU and the full solve on the intra-solve pass executor
-// (independent passes fanned across simulated arrays), requiring results
-// and stats bit-identical to the serial runs; the batch category
-// additionally fans problems across the worker pool and checks it against
-// serial solves. Exits non-zero on the first mismatch.
+// replays block LU, the full solve and the triangular inverse on the
+// intra-solve pass executor (independent passes fanned across simulated
+// arrays), requiring results and stats bit-identical to the serial runs;
+// the batch category additionally fans problems across the worker fleet
+// and checks it against serial solves; and the stream category drives a
+// sustained mixed-shape problem stream through the sharded stream
+// scheduler at random shard counts — the cross-runtime differential:
+// every ticket must redeem to exactly what a serial solve of the same
+// problem returns, stats included. Exits non-zero on the first mismatch.
 //
 // Usage:
 //
@@ -32,6 +36,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/solve"
 	"repro/internal/sparse"
+	"repro/internal/stream"
 	"repro/internal/trisolve"
 )
 
@@ -57,6 +62,7 @@ func main() {
 	run("sparse", *n/2, func() { sparseCase(rng, *maxw) })
 	run("solvers", *n/5, func() { solverCase(rng, *maxw) })
 	run("batch", *n/10, func() { batchCase(rng, *maxw) })
+	run("stream", *n/10, func() { streamCase(rng, *maxw) })
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "soak: %d failures\n", failures)
@@ -366,5 +372,121 @@ func solverCase(rng *rand.Rand, maxw int) {
 	}
 	if !xp.Equal(xb, 1e-6) {
 		fail("blockpart solve wrong (w=%d n=%d): off %g", w, n, xp.MaxAbsDiff(xb))
+	}
+	// Triangular inverse: per-target block-column passes fanned across the
+	// executor must be bit-identical to the serial order.
+	inv, ist, err := solve.LowerTriangularInverse(l, w, solve.Options{})
+	if err != nil {
+		fail("inverse: %v", err)
+		return
+	}
+	pinv, pist, err := solve.LowerTriangularInverse(l, w, solve.Options{Executor: exec})
+	if err != nil {
+		fail("inverse parallel: %v", err)
+		return
+	}
+	if !inv.Equal(pinv, 0) || !reflect.DeepEqual(ist, pist) {
+		fail("inverse parallel differs from serial (w=%d n=%d)", w, n)
+	}
+}
+
+// streamCase drives a mixed-shape slice of problems through a stream
+// scheduler at a random shard count and checks every redeemed ticket —
+// results and stats — bit-for-bit against serial solves, plus the batch
+// adapter against the core batch API.
+func streamCase(rng *rand.Rand, maxw int) {
+	w := 1 + rng.Intn(maxw)
+	shards := 1 + rng.Intn(4)
+	s := stream.New(stream.Config{Shards: shards, QueueBound: 4 + rng.Intn(12)})
+	defer s.Close()
+
+	count := 6 + rng.Intn(10)
+	mvp := make([]core.MatVecProblem, 0, count)
+	mvTickets := make([]stream.MatVecTicket, 0, count)
+	mmp := make([]core.MatMulProblem, 0, count)
+	mmTickets := make([]stream.MatMulTicket, 0, count)
+	// A couple of shapes recycled across the stream — the affinity path.
+	shapes := [][2]int{{1 + rng.Intn(3*w), 1 + rng.Intn(3*w)}, {1 + rng.Intn(3*w), 1 + rng.Intn(3*w)}}
+	for i := 0; i < count; i++ {
+		var eng core.Engine
+		if rng.Intn(3) == 0 {
+			eng = core.EngineOracle
+		}
+		if rng.Intn(2) == 0 {
+			sh := shapes[i%len(shapes)]
+			p := core.MatVecProblem{
+				A:    matrix.RandomDense(rng, sh[0], sh[1], 5),
+				X:    matrix.RandomVector(rng, sh[1], 5),
+				B:    matrix.RandomVector(rng, sh[0], 5),
+				Opts: core.MatVecOptions{Engine: eng},
+			}
+			tk, err := s.SubmitMatVec(w, p)
+			if err != nil {
+				fail("stream submit matvec: %v", err)
+				return
+			}
+			mvp, mvTickets = append(mvp, p), append(mvTickets, tk)
+		} else {
+			n, pd, m := 1+rng.Intn(2*w), 1+rng.Intn(2*w), 1+rng.Intn(2*w)
+			p := core.MatMulProblem{
+				A:    matrix.RandomDense(rng, n, pd, 4),
+				B:    matrix.RandomDense(rng, pd, m, 4),
+				Opts: core.MatMulOptions{Engine: eng},
+			}
+			tk, err := s.SubmitMatMul(w, p)
+			if err != nil {
+				fail("stream submit matmul: %v", err)
+				return
+			}
+			mmp, mmTickets = append(mmp, p), append(mmTickets, tk)
+		}
+	}
+	s.Flush()
+	for i, tk := range mvTickets {
+		got, err := tk.Wait()
+		if err != nil {
+			fail("stream matvec wait: %v", err)
+			return
+		}
+		want, err := core.NewMatVecSolver(w).Solve(mvp[i].A, mvp[i].X, mvp[i].B, mvp[i].Opts)
+		if err != nil {
+			fail("stream matvec serial check: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			fail("stream matvec %d differs from serial (w=%d shards=%d)", i, w, shards)
+		}
+	}
+	for i, tk := range mmTickets {
+		got, err := tk.Wait()
+		if err != nil {
+			fail("stream matmul wait: %v", err)
+			return
+		}
+		want, err := core.NewMatMulSolver(w).Solve(mmp[i].A, mmp[i].B, mmp[i].Opts)
+		if err != nil {
+			fail("stream matmul serial check: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			fail("stream matmul %d differs from serial (w=%d shards=%d)", i, w, shards)
+		}
+	}
+	// Batch adapter differential: the scheduler's batch helper must equal
+	// the core batch API (itself checked against serial in batchCase).
+	if len(mvp) > 0 {
+		sb, err := s.MatVecBatch(w, mvp)
+		if err != nil {
+			fail("stream batch: %v", err)
+			return
+		}
+		cb, err := core.NewMatVecSolver(w).SolveBatch(mvp)
+		if err != nil {
+			fail("core batch: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(sb, cb) {
+			fail("stream batch differs from core batch (w=%d shards=%d)", w, shards)
+		}
 	}
 }

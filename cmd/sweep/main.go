@@ -1,5 +1,5 @@
 // Command sweep regenerates the paper's quantitative results (experiments
-// E1–E14 of DESIGN.md): step-count formulas, utilization asymptotes,
+// E1–E15 of DESIGN.md): step-count formulas, utilization asymptotes,
 // feedback delays, register demands, baseline comparisons, the sparsity
 // ablation, the §4 variants, the execution-engine comparisons for the
 // matrix-product and solver workloads, and the intra-solve parallel
@@ -27,11 +27,12 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/solve"
 	"repro/internal/sparse"
+	"repro/internal/stream"
 	"repro/internal/trisolve"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E14); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E15); empty = all")
 	flag.Parse()
 	exps := []struct {
 		id  string
@@ -52,6 +53,7 @@ func main() {
 		{"E12", e12, "execution engines: compiled-schedule speedup and batch throughput scaling"},
 		{"E13", e13, "solver workloads on both engines: trisolve, LU, full and block-partitioned solve"},
 		{"E14", e14, "intra-solve parallelism: pass executor scaling on BlockLU and the full solve"},
+		{"E15", e15, "stream scheduler: sustained mixed-shape stream throughput across shard counts"},
 	}
 	ran := false
 	for _, e := range exps {
@@ -543,6 +545,77 @@ func e14() {
 		ex := core.NewExecutor(workers)
 		row(fmt.Sprintf("workers=%d", workers), ex)
 		ex.Close()
+	}
+}
+
+// e15 measures the stream scheduler: a sustained mixed-shape stream of
+// compiled matvec jobs (two shapes recycled, so the shape-affinity routing
+// keeps hitting warm plan memos) driven through schedulers at shard counts
+// {1, 2, NumCPU}. Every result is checked bit-for-bit against a serial
+// solve; throughput is wall-clock jobs/s. Single-core hosts show scheduler
+// overhead at parity — the scaling rows need real cores.
+func e15() {
+	r := rng()
+	const jobs = 512
+	shapes := []struct{ n, m int }{{16 * 8, 8}, {8 * 8, 8}}
+	type problem struct {
+		a    *matrix.Dense
+		x    matrix.Vector
+		want matrix.Vector
+	}
+	problems := make([]problem, len(shapes))
+	for i, sh := range shapes {
+		a := matrix.RandomDense(r, sh.n, sh.m, 3)
+		x := matrix.RandomVector(r, sh.m, 3)
+		problems[i] = problem{a: a, x: x, want: a.MulVec(x, nil)}
+	}
+	fmt.Printf("  mixed-shape compiled stream, %d jobs/run, GOMAXPROCS=%d:\n", jobs, runtime.GOMAXPROCS(0))
+	fmt.Println("   shards      wall        jobs/s   vs 1 shard   identical")
+	var base time.Duration
+	for _, shards := range core.PassWorkerLadder(runtime.GOMAXPROCS(0)) {
+		s := stream.New(stream.Config{Shards: shards, QueueBound: 64})
+		dsts := make([]matrix.Vector, jobs)
+		tickets := make([]stream.PassTicket, jobs)
+		for k := range dsts {
+			dsts[k] = make(matrix.Vector, problems[k%len(problems)].a.Rows())
+		}
+		runOnce := func() {
+			for k := 0; k < jobs; k++ {
+				p := problems[k%len(problems)]
+				tk, err := s.SubmitMatVecInto(dsts[k], p.a, p.x, nil, 8, core.EngineCompiled)
+				check(err)
+				tickets[k] = tk
+			}
+			for k := 0; k < jobs; k++ {
+				_, err := tickets[k].Wait()
+				check(err)
+			}
+		}
+		runOnce() // warm every shard's plan memo
+		start := time.Now()
+		runOnce()
+		el := time.Since(start)
+		identical := true
+		for k := range dsts {
+			if !dsts[k].Equal(problems[k%len(problems)].want, 0) {
+				identical = false
+			}
+		}
+		if !identical {
+			fmt.Fprintln(os.Stderr, "sweep: stream result diverged from serial reference")
+			os.Exit(1)
+		}
+		if shards == 1 {
+			base = el
+		}
+		fmt.Printf("   %-8d %9s  %10.0f   %8.2fx   bit-identical\n",
+			shards, el, float64(jobs)/el.Seconds(), float64(base)/float64(el))
+		st := s.Stats()
+		if st.Submitted != 2*jobs || st.Completed != 2*jobs {
+			fmt.Fprintf(os.Stderr, "sweep: stream stats %+v, want %d submitted and completed\n", st, 2*jobs)
+			os.Exit(1)
+		}
+		s.Close()
 	}
 }
 

@@ -1,21 +1,21 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/matrix"
 )
 
-// The batch API runs many independent problems across a worker pool. Every
+// The batch API runs many independent problems across a worker fleet. Every
 // simulated array is a fixed piece of hardware serving one problem stream,
-// but a production service simulates *fleets* of them: the pool dispatches
-// each problem to a worker (one simulated array each), sized to
+// but a production service simulates *fleets* of them: the batch dispatches
+// each problem to a shard (one simulated array each), sized to
 // GOMAXPROCS by default. Combined with the shape-keyed schedule cache —
 // workloads repeat shapes, so workers share compiled schedules — batch
-// throughput scales near-linearly with cores.
+// throughput scales near-linearly with cores. SolveBatch is the one-shot
+// compatibility surface; a continuous problem stream belongs on the
+// persistent stream scheduler (internal/stream), which owns the same Fleet
+// substrate these adapters run on.
 
 // MatVecProblem is one independent y = A·x + b problem of a batch.
 type MatVecProblem struct {
@@ -34,10 +34,10 @@ type MatMulProblem struct {
 	Opts MatMulOptions
 }
 
-// SolveBatch solves every problem concurrently on a worker pool sized to
+// SolveBatch solves every problem concurrently on a worker fleet sized to
 // GOMAXPROCS and returns results aligned with the input slice. On error the
-// failing entries are nil and the first error (annotated with its index) is
-// returned alongside the successful results.
+// failing entries are nil and a joined error covering every failing index
+// is returned alongside the successful results.
 func (s *MatVecSolver) SolveBatch(problems []MatVecProblem) ([]*MatVecResult, error) {
 	return s.SolveBatchWorkers(problems, runtime.GOMAXPROCS(0))
 }
@@ -50,10 +50,10 @@ func (s *MatVecSolver) SolveBatchWorkers(problems []MatVecProblem, workers int) 
 	})
 }
 
-// SolveBatch solves every problem concurrently on a worker pool sized to
+// SolveBatch solves every problem concurrently on a worker fleet sized to
 // GOMAXPROCS and returns results aligned with the input slice. On error the
-// failing entries are nil and the first error (annotated with its index) is
-// returned alongside the successful results.
+// failing entries are nil and a joined error covering every failing index
+// is returned alongside the successful results.
 func (s *MatMulSolver) SolveBatch(problems []MatMulProblem) ([]*MatMulResult, error) {
 	return s.SolveBatchWorkers(problems, runtime.GOMAXPROCS(0))
 }
@@ -95,44 +95,28 @@ func PassWorkerLadder(numCPU int) []int {
 	return counts
 }
 
-// Batch fans items out to a pool of workers pulling from a shared atomic
-// cursor (work-stealing by index, no channels on the hot path). Results
-// come back aligned with items; on error the failing entries are zero and
-// the first error (annotated with its index) is returned alongside the
-// successful results. It is the worker-pool substrate behind every
-// SolveBatch in the repository — the solver packages built on core
-// (trisolve, solve) reuse it for their own batch APIs.
+// Batch fans items across a transient Fleet, one pass per item, and waits
+// for all of them — a one-shot compatibility adapter over the same sharded
+// runtime that backs the stream scheduler and the pass executor (there is
+// no second pool implementation). Results come back aligned with items; on
+// error the failing entries are zero and a single joined error covering
+// EVERY failing index (each annotated "batch problem i") is returned
+// alongside the successful results. The solver packages built on core
+// (trisolve, solve) reuse it for their own batch APIs; use BatchOn to run
+// a batch on a persistent fleet instead.
 func Batch[P, R any](items []P, workers int, solve func(P) (R, error)) ([]R, error) {
-	results := make([]R, len(items))
-	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return nil, nil
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers > len(items) {
 		workers = len(items)
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(items) {
-					return
-				}
-				results[i], errs[i] = solve(items[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			var zero R
-			results[i] = zero
-			return results, fmt.Errorf("core: batch problem %d: %w", i, err)
-		}
-	}
-	return results, nil
+	// Round-robin routing puts at most ceil(len/workers) items on a shard,
+	// so bounding each queue to that never blocks a submission.
+	f := NewFleet(workers, (len(items)+workers-1)/workers)
+	defer f.Close()
+	return BatchOn(f, items, solve)
 }

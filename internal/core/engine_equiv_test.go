@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/matrix"
@@ -229,22 +230,28 @@ func TestBatchMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestBatchError checks error propagation: failing problems come back nil
-// with an indexed error, successful ones still return results.
+// TestBatchError checks error propagation on a partial failure: every
+// failing problem comes back nil and is named in the joined error (not just
+// the first), while successful siblings still return results.
 func TestBatchError(t *testing.T) {
 	s := NewMatVecSolver(3)
 	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
 	ok := MatVecProblem{A: a, X: matrix.Vector{1, 1}}
 	bad := MatVecProblem{A: a, X: matrix.Vector{1, 1, 1}} // len(x) ≠ cols
-	res, err := s.SolveBatch([]MatVecProblem{ok, bad, ok})
+	res, err := s.SolveBatch([]MatVecProblem{ok, bad, ok, bad, bad})
 	if err == nil {
-		t.Fatal("want error for problem 1")
+		t.Fatal("want an error for the failing problems")
 	}
-	if res[1] != nil {
-		t.Fatal("failing problem should be nil")
+	for _, i := range []int{1, 3, 4} {
+		if res[i] != nil {
+			t.Errorf("failing problem %d should be nil", i)
+		}
+		if want := fmt.Sprintf("batch problem %d", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
+		}
 	}
 	if res[0] == nil || res[2] == nil {
-		t.Fatal("successful problems should survive a failing sibling")
+		t.Fatal("successful problems should survive failing siblings")
 	}
 }
 

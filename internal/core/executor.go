@@ -1,66 +1,87 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// Executor is the intra-solve parallel substrate: a pool of simulated
-// arrays, each a goroutine with its own work queue and scratch Arena. It
-// generalizes the whole-problem Batch pool to per-pass granularity — the
-// blocked solvers (solve.Workspace, trisolve.Workspace) express each
-// elimination step as a set of independent array passes, Submit fans them
-// out across the arrays, and Barrier closes the step.
+// Executor is the intra-solve parallel view over a Fleet: the blocked
+// solvers (solve.Workspace, trisolve.Workspace) express each elimination
+// step as a set of independent array passes, Submit fans them out across
+// the fleet's shards round-robin, and Barrier closes the step. An executor
+// either owns a private fleet (NewExecutor) or shares one — typically the
+// stream scheduler's — so one worker budget serves inter-problem jobs and
+// intra-solve passes together (NewExecutorFleet).
 //
-// Determinism: a pass's result never depends on which array runs it (plan
+// Determinism: a pass's result never depends on which shard runs it (plan
 // replay is deterministic and every pass writes a disjoint output region),
 // and callers accumulate per-pass statistics into index-addressed slots
 // that they reduce in submission order after the barrier — so results and
 // stats are bit-identical at every worker count, including the serial
 // (nil-executor) path.
 type Executor struct {
-	queues []chan func(worker int, ar *Arena)
-	done   sync.WaitGroup // worker goroutines, for Close
-	tasks  sync.WaitGroup // in-flight tasks, for Barrier
-	next   atomic.Uint64  // round-robin submission cursor
+	fleet *Fleet
+	owned bool
+	tasks sync.WaitGroup // in-flight tasks, for Barrier
+	next  atomic.Uint64  // round-robin submission cursor
 }
 
-// NewExecutor starts an executor with the given number of simulated arrays
-// (values < 1 mean GOMAXPROCS). Close it when done.
+// NewExecutor starts an executor over a private fleet with the given number
+// of simulated arrays (values < 1 mean GOMAXPROCS). Close it when done.
 func NewExecutor(workers int) *Executor {
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	e := &Executor{queues: make([]chan func(int, *Arena), workers)}
-	for i := range e.queues {
-		e.queues[i] = make(chan func(int, *Arena), 64)
-		e.done.Add(1)
-		go func(worker int) {
-			defer e.done.Done()
-			ar := NewArena()
-			for task := range e.queues[worker] {
-				ar.Reset()
-				task(worker, ar)
-				e.tasks.Done()
-			}
-		}(i)
-	}
-	return e
+	return &Executor{fleet: NewFleet(workers, 0), owned: true}
 }
 
-// Workers returns the number of simulated arrays.
-func (e *Executor) Workers() int { return len(e.queues) }
+// NewExecutorFleet returns an executor whose passes run on the given shared
+// fleet. The fleet is not owned: Close on the executor only drains the
+// executor's own in-flight passes, and the fleet must stay open for the
+// executor's whole lifetime.
+func NewExecutorFleet(f *Fleet) *Executor {
+	return &Executor{fleet: f}
+}
 
-// Submit enqueues one pass on the next array in round-robin order. The
-// task receives the array index and the array's private arena (reset just
+// Workers returns the number of simulated arrays (the fleet's shard count).
+func (e *Executor) Workers() int { return e.fleet.Shards() }
+
+// execPass is the pooled Pass wrapper that retires a task against its
+// executor's barrier — pooled so Submit adds no allocation of its own on
+// top of the caller's task closure.
+type execPass struct {
+	e  *Executor
+	fn func(worker int, ar *Arena)
+}
+
+// execPassPool recycles wrappers across Submits.
+var execPassPool = sync.Pool{New: func() interface{} { return &execPass{} }}
+
+// RunPass runs the task, recycles the wrapper and retires the barrier slot.
+func (p *execPass) RunPass(worker int, ar *Arena) {
+	e, fn := p.e, p.fn
+	p.e, p.fn = nil, nil
+	execPassPool.Put(p)
+	fn(worker, ar)
+	e.tasks.Done()
+}
+
+// Submit enqueues one pass on the next shard in round-robin order. The
+// task receives the shard index and the shard's private arena (reset just
 // before the task runs). Tasks must be independent of each other — the
 // executor gives no ordering guarantee between tasks submitted before the
 // same Barrier — and must record errors and statistics into caller-owned
 // indexed slots rather than shared accumulators.
 func (e *Executor) Submit(task func(worker int, ar *Arena)) {
 	e.tasks.Add(1)
-	e.queues[int(e.next.Add(1)-1)%len(e.queues)] <- task
+	shard := int(e.next.Add(1)-1) % e.fleet.Shards()
+	p := execPassPool.Get().(*execPass)
+	p.e, p.fn = e, task
+	if err := e.fleet.SubmitTo(shard, p); err != nil {
+		// Submitting through a closed fleet is a lifecycle bug (the fleet
+		// must outlive its executors), not a recoverable condition.
+		p.e, p.fn = nil, nil
+		execPassPool.Put(p)
+		e.tasks.Done()
+		panic(err)
+	}
 }
 
 // Barrier blocks until every task submitted so far has finished. It is the
@@ -68,12 +89,11 @@ func (e *Executor) Submit(task func(worker int, ar *Arena)) {
 // goroutine that Submits must call Barrier (Submit must not race with it).
 func (e *Executor) Barrier() { e.tasks.Wait() }
 
-// Close waits for in-flight tasks and stops the arrays. The executor must
-// not be used afterwards.
+// Close waits for this executor's in-flight tasks and, when the executor
+// owns its fleet, stops it. The executor must not be used afterwards.
 func (e *Executor) Close() {
 	e.tasks.Wait()
-	for _, q := range e.queues {
-		close(q)
+	if e.owned {
+		e.fleet.Close()
 	}
-	e.done.Wait()
 }

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Fleet is the single worker-pool substrate of the repository: a persistent
+// set of simulated-array shards, each a goroutine with a bounded work queue
+// and a private scratch Arena. Every parallel runtime is a view over a
+// fleet — the stream scheduler (internal/stream) routes whole problems onto
+// one by shape affinity, Executor fans intra-solve passes across one, and
+// Batch runs one-shot problem slices on a transient one — so a single fleet
+// can serve inter-problem and intra-solve work at once without
+// oversubscribing the host.
+//
+// Scheduling: SubmitTo enqueues a pass on a specific shard (the routing
+// policy — affinity, round-robin — belongs to the caller). A shard drains
+// its own queue first and steals from sibling queues when idle, so a poorly
+// routed or bursty queue never strands work while other shards sit idle.
+// Stolen passes run on the stealing shard's arena; every pass is
+// arena-agnostic by the Arena ownership contract, so stealing affects only
+// locality, never results.
+//
+// Determinism: the fleet gives no ordering guarantee between passes.
+// Callers that need bit-identical results across shard counts must follow
+// the Executor discipline: independent passes, disjoint output regions,
+// statistics in index-addressed slots reduced in submission order.
+type Fleet struct {
+	queues []chan Pass
+	wake   chan struct{}
+	done   sync.WaitGroup // shard goroutines, for Close
+	tasks  sync.WaitGroup // in-flight passes, for Flush
+	closed atomic.Bool
+}
+
+// Pass is one unit of fleet work: it runs on some shard's goroutine with
+// that shard's private arena (reset just before the run).
+type Pass interface {
+	RunPass(worker int, ar *Arena)
+}
+
+// PassFunc adapts a plain function to the Pass interface.
+type PassFunc func(worker int, ar *Arena)
+
+// RunPass calls the function.
+func (f PassFunc) RunPass(worker int, ar *Arena) { f(worker, ar) }
+
+// ErrClosed is returned by submissions to a fleet (or a scheduler built on
+// one) after Close.
+var ErrClosed = errors.New("core: runtime is closed")
+
+// DefaultQueueBound is the per-shard queue capacity when a caller does not
+// set one.
+const DefaultQueueBound = 64
+
+// NewFleet starts a fleet of the given number of shards (values < 1 mean
+// GOMAXPROCS), each with a work queue bounded to queueBound passes (values
+// < 1 mean DefaultQueueBound). Close it when done.
+func NewFleet(shards, queueBound int) *Fleet {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if queueBound < 1 {
+		queueBound = DefaultQueueBound
+	}
+	f := &Fleet{
+		queues: make([]chan Pass, shards),
+		wake:   make(chan struct{}, shards),
+	}
+	// Populate every queue before the first worker starts: the steal loop
+	// reads sibling queue slots.
+	for i := range f.queues {
+		f.queues[i] = make(chan Pass, queueBound)
+	}
+	for i := range f.queues {
+		f.done.Add(1)
+		go f.worker(i)
+	}
+	return f
+}
+
+// Shards returns the number of shards.
+func (f *Fleet) Shards() int { return len(f.queues) }
+
+// SubmitTo enqueues one pass on the given shard, blocking while that
+// shard's queue is full (the shard itself — or a stealing sibling — always
+// drains it, so the wait is bounded by queue service time). It returns
+// ErrClosed after Close. Submissions must not race with Flush or Close on
+// the same fleet.
+func (f *Fleet) SubmitTo(shard int, p Pass) error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	f.tasks.Add(1)
+	f.queues[shard] <- p
+	f.signal()
+	return nil
+}
+
+// TrySubmitTo is SubmitTo without blocking: it reports false when the
+// shard's queue is full, leaving the pass unqueued. Admission policies
+// (internal/stream's load shedding) are built on it.
+func (f *Fleet) TrySubmitTo(shard int, p Pass) (bool, error) {
+	if f.closed.Load() {
+		return false, ErrClosed
+	}
+	f.tasks.Add(1)
+	select {
+	case f.queues[shard] <- p:
+		f.signal()
+		return true, nil
+	default:
+		f.tasks.Done()
+		return false, nil
+	}
+}
+
+// signal nudges one idle shard to run a steal pass. Best-effort: when the
+// buffer is full enough wakeups are already pending, and every shard drains
+// its own queue regardless.
+func (f *Fleet) signal() {
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Flush blocks until every pass submitted so far has finished. The caller
+// must ensure no concurrent submissions are in flight (same contract as
+// Executor.Barrier).
+func (f *Fleet) Flush() { f.tasks.Wait() }
+
+// Close flushes, stops the shards and releases them. The fleet must not be
+// used afterwards; Close is idempotent.
+func (f *Fleet) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	f.tasks.Wait()
+	for _, q := range f.queues {
+		close(q)
+	}
+	f.done.Wait()
+}
+
+// worker is one shard: drain the own queue, steal when idle, sleep on the
+// own queue and the wake signal otherwise.
+func (f *Fleet) worker(i int) {
+	defer f.done.Done()
+	ar := NewArena()
+	own := f.queues[i]
+	for {
+		select {
+		case p, ok := <-own:
+			if !ok {
+				return
+			}
+			f.run(p, i, ar)
+			continue
+		default:
+		}
+		if f.steal(i, ar) {
+			continue
+		}
+		select {
+		case p, ok := <-own:
+			if !ok {
+				return
+			}
+			f.run(p, i, ar)
+		case <-f.wake:
+			// Re-scan: the steal pass at the top of the loop finds the
+			// queued work (or a sibling already took it).
+		}
+	}
+}
+
+// steal runs one pass from a sibling queue if any is ready.
+func (f *Fleet) steal(self int, ar *Arena) bool {
+	for d := 1; d < len(f.queues); d++ {
+		select {
+		case p, ok := <-f.queues[(self+d)%len(f.queues)]:
+			if !ok {
+				continue
+			}
+			f.run(p, self, ar)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// run executes one pass on this shard's arena and retires it.
+func (f *Fleet) run(p Pass, worker int, ar *Arena) {
+	ar.Reset()
+	p.RunPass(worker, ar)
+	f.tasks.Done()
+}
+
+// BatchOn fans items across an existing fleet (one pass per item, routed
+// round-robin) and waits for all of them; see Batch for the result and
+// error contract. It lets a batch share a persistent fleet — the stream
+// scheduler's, typically — instead of paying for a transient pool.
+func BatchOn[P, R any](f *Fleet, items []P, solve func(P) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		i := i
+		wg.Add(1)
+		err := f.SubmitTo(i%f.Shards(), PassFunc(func(int, *Arena) {
+			defer wg.Done()
+			results[i], errs[i] = solve(items[i])
+		}))
+		if err != nil {
+			wg.Done()
+			errs[i] = err
+		}
+	}
+	wg.Wait()
+	return results, joinBatchErrors(results, errs)
+}
+
+// joinBatchErrors zeroes failed slots and joins every failing index into
+// one error (nil when the batch is clean).
+func joinBatchErrors[R any](results []R, errs []error) error {
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			var zero R
+			results[i] = zero
+			joined = append(joined, fmt.Errorf("core: batch problem %d: %w", i, err))
+		}
+	}
+	return errors.Join(joined...)
+}

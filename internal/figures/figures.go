@@ -1,8 +1,10 @@
-// Package figures regenerates the paper's six figures as text renderings,
-// driven by the same transformation and simulator code the experiments use.
-// Each FigN function returns a self-contained string; cmd/figures prints
-// them and the package tests pin the load-bearing content (block orders,
-// Fig. 3's exact stream sequences, Fig. 5's loop sizes).
+// Package figures regenerates the paper's six figures as text renderings —
+// plus a supplementary Fig. 7, the boundary data flow of the
+// Kung–Leiserson band triangular solver array — driven by the same
+// transformation and simulator code the experiments use. Each FigN
+// function returns a self-contained string; cmd/figures prints them and
+// the package tests pin the load-bearing content (block orders, Fig. 3's
+// and Fig. 7's exact stream sequences, Fig. 5's loop sizes).
 package figures
 
 import (

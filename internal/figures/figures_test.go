@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -187,5 +188,32 @@ func TestFig5Fig6Render(t *testing.T) {
 	}
 	if s := Fig6(); !strings.Contains(s, "L_{i,0}  D_i  U_{i,1}") {
 		t.Error("Fig6 missing the piece layout")
+	}
+}
+
+// TestFig7Streams pins the supplementary trisolve data-flow figure: y
+// injections every 2 cycles, x outputs at 2i+w−1, re-entry one cycle
+// later (n=6, w=3 — T = 2n+w−2 = 13).
+func TestFig7Streams(t *testing.T) {
+	st, err := FigTriData(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.T != 13 {
+		t.Fatalf("T=%d, want 2n+w−2 = 13", st.T)
+	}
+	for i := 0; i < 6; i++ {
+		if got := st.YIn[2*i]; got != fmt.Sprintf("y%d", i) {
+			t.Errorf("cycle %d y-in %q, want y%d", 2*i, got, i)
+		}
+		if got := st.XOut[2*i+2]; got != fmt.Sprintf("x%d", i) {
+			t.Errorf("cycle %d x-out %q, want x%d", 2*i+2, got, i)
+		}
+		if got := st.XBack[2*i+3]; got != fmt.Sprintf("x%d", i) {
+			t.Errorf("cycle %d x-reenter %q, want x%d", 2*i+3, got, i)
+		}
+	}
+	if s := Fig7(); !strings.Contains(s, "self-feeding recurrence") {
+		t.Error("Fig7 missing the recurrence note")
 	}
 }

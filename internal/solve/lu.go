@@ -41,26 +41,24 @@ func BlockLU(a *matrix.Dense, w int, opts Options) (l, u *matrix.Dense, stats *L
 // LowerTriangularInverse inverts a lower triangular matrix by blocks:
 // X_kk = L_kk⁻¹ on the host (w×w), and each off-diagonal block
 // X_ik = −L_ii⁻¹·(Σ_j L_ij·X_jk) with the inner products run as
-// hexagonal-array passes (C = L_panel·X_panel + E accumulations).
+// hexagonal-array passes. Within one block row bi the per-target-column
+// passes (bk = bi−1 … 0) are independent — each reads only blocks written
+// in earlier block rows (plus the diagonal inverse) and writes its own
+// X[bi, bk] — so with opts.Executor they fan out across the pool of
+// simulated arrays with a barrier per block row, bit-identical to the
+// serial order (per-pass steps land in slot-addressed entries reduced in
+// submission order).
 func LowerTriangularInverse(lo *matrix.Dense, w int, opts Options) (*matrix.Dense, *LUStats, error) {
 	n := lo.Rows()
 	if lo.Cols() != n {
 		return nil, nil, fmt.Errorf("solve: inverse needs a square matrix, got %d×%d", n, lo.Cols())
 	}
 	stats := &LUStats{}
-	solver := core.NewMatMulSolver(w)
 	x := matrix.NewDense(n, n)
 	nb := (n + w - 1) / w
-	bounds := func(b int) (int, int) {
-		hi := (b + 1) * w
-		if hi > n {
-			hi = n
-		}
-		return b * w, hi
-	}
 	// Host: invert the diagonal blocks by forward substitution.
 	for b := 0; b < nb; b++ {
-		lo0, hi0 := bounds(b)
+		lo0, hi0 := blockBounds(b, w, n)
 		for c := lo0; c < hi0; c++ {
 			if lo.At(c, c) == 0 {
 				return nil, nil, fmt.Errorf("solve: singular diagonal at %d", c)
@@ -78,44 +76,88 @@ func LowerTriangularInverse(lo *matrix.Dense, w int, opts Options) (*matrix.Dens
 			}
 		}
 	}
-	// Array: X_ik = −(L_ii⁻¹)·(Σ_{k≤j<i} L_ij X_jk), one pass per block row
-	// i per target column k, accumulating through the E input.
+	// Array: X_ik = −(L_ii⁻¹)·(Σ_{k≤j<i} L_ij X_jk), two passes per target
+	// column — the independent fan-out set of block row bi.
+	ar := core.NewArena()
+	var passSteps []int
+	var passErrs []error
 	for bi := 1; bi < nb; bi++ {
-		li0, li1 := bounds(bi)
+		count := bi
+		passSteps = matrix.ReuseSlice[int](passSteps, count)
+		passErrs = matrix.ReuseSlice[error](passErrs, count)
 		for bk := bi - 1; bk >= 0; bk-- {
-			lk0, lk1 := bounds(bk)
-			// S = Σ_j L[bi, j]·X[j, bk] over k ≤ j < i via one array pass:
-			// the row panel L[bi, bk..bi) times the column panel X[bk..bi, bk].
-			res, err := solver.Solve(lo.Slice(li0, li1, lk0, li0), x.Slice(lk0, li0, lk0, lk1),
-				core.MatMulOptions{Engine: opts.Engine})
-			if err != nil {
-				return nil, nil, err
-			}
-			stats.ArraySteps += res.Stats.T
-			stats.ArrayPasses++
-			// X[bi, bk] = −L_ii⁻¹·S: the diagonal inverse block is already
-			// in x[bi, bi]; one more array pass multiplies it in.
-			diagInv := x.Slice(li0, li1, li0, li1)
-			neg := matrix.NewDense(li1-li0, li1-li0)
-			for i := 0; i < li1-li0; i++ {
-				for j := 0; j < li1-li0; j++ {
-					neg.Set(i, j, -diagInv.At(i, j))
-				}
-			}
-			res2, err := solver.Solve(neg, res.C, core.MatMulOptions{Engine: opts.Engine})
-			if err != nil {
-				return nil, nil, err
-			}
-			stats.ArraySteps += res2.Stats.T
-			stats.ArrayPasses++
-			for i := li0; i < li1; i++ {
-				for j := lk0; j < lk1; j++ {
-					x.Set(i, j, res2.C.At(i-li0, j-lk0))
-				}
+			slot := bi - 1 - bk
+			if opts.Executor == nil {
+				ar.Reset()
+				inverseColumn(ar, lo, x, w, bi, bk, opts.Engine, &passSteps[slot], &passErrs[slot])
+			} else {
+				submitInverseColumn(opts.Executor, lo, x, w, bi, bk, opts.Engine, &passSteps[slot], &passErrs[slot])
 			}
 		}
+		if opts.Executor != nil {
+			opts.Executor.Barrier()
+		}
+		for _, err := range passErrs[:count] {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, s := range passSteps[:count] {
+			stats.ArraySteps += s
+		}
+		stats.ArrayPasses += 2 * count
 	}
 	return x, stats, nil
+}
+
+// blockBounds returns block b's row range [lo, hi) in a width-w blocking
+// of dimension n.
+func blockBounds(b, w, n int) (int, int) {
+	hi := (b + 1) * w
+	if hi > n {
+		hi = n
+	}
+	return b * w, hi
+}
+
+// submitInverseColumn enqueues one target-column task on the executor. It
+// lives outside the fan-out loop so the closure's captures never force the
+// loop's locals onto the heap on the serial path.
+func submitInverseColumn(exec *core.Executor, lo, x *matrix.Dense, w, bi, bk int, eng core.Engine, steps *int, errSlot *error) {
+	exec.Submit(func(_ int, ar *core.Arena) {
+		inverseColumn(ar, lo, x, w, bi, bk, eng, steps, errSlot)
+	})
+}
+
+// inverseColumn is one fan-out task of block row bi: the summed product
+// S = L[bi, bk..bi)·X[bk..bi, bk] as one hexagonal-array pass, then
+// X[bi, bk] = (−L_ii⁻¹)·S as a second, all on the task's arena.
+func inverseColumn(ar *core.Arena, lo, x *matrix.Dense, w, bi, bk int, eng core.Engine, steps *int, errSlot *error) {
+	n := lo.Rows()
+	li0, li1 := blockBounds(bi, w, n)
+	lk0, lk1 := blockBounds(bk, w, n)
+	lPanel := matrix.SliceInto(ar.Dense(li1-li0, li0-lk0), lo, li0, li1, lk0, li0)
+	xPanel := matrix.SliceInto(ar.Dense(li0-lk0, lk1-lk0), x, lk0, li0, lk0, lk1)
+	sum := ar.Dense(li1-li0, lk1-lk0)
+	t1, err := ar.MatMulPass(sum, lPanel, xPanel, nil, w, eng)
+	if err != nil {
+		*errSlot = err
+		return
+	}
+	neg := ar.Dense(li1-li0, li1-li0)
+	for i := 0; i < li1-li0; i++ {
+		for j := 0; j < li1-li0; j++ {
+			neg.Set(i, j, -x.At(li0+i, li0+j))
+		}
+	}
+	dst := ar.Dense(li1-li0, lk1-lk0)
+	t2, err := ar.MatMulPass(dst, neg, sum, nil, w, eng)
+	if err != nil {
+		*errSlot = err
+		return
+	}
+	*steps = t1 + t2
+	x.SetRect(li0, lk0, dst)
 }
 
 // Inverse inverts a dense matrix as U⁻¹·L⁻¹ from its block LU

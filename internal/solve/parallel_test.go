@@ -93,6 +93,62 @@ func TestParallelSolveEquiv(t *testing.T) {
 	}
 }
 
+// TestParallelInverseEquiv: the per-target block-column fan-out of
+// LowerTriangularInverse (and the full Inverse on top of it) returns the
+// same inverse and stats as the serial order — DeepEqual across worker
+// counts and engines (the ROADMAP "parallel inverse" item).
+func TestParallelInverseEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	for _, w := range []int{2, 3, 4} {
+		for _, n := range []int{1, w, 2*w + 1, 13} {
+			l := matrix.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					l.Set(i, j, float64(rng.Intn(5)-2))
+				}
+				l.Set(i, i, float64(1+rng.Intn(3)))
+			}
+			x0, st0, err := LowerTriangularInverse(l, w, Options{Engine: core.EngineCompiled})
+			if err != nil {
+				t.Fatalf("serial inverse (w=%d n=%d): %v", w, n, err)
+			}
+			eye := matrix.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				eye.Set(i, i, 1)
+			}
+			if !l.Mul(x0).Equal(eye, 1e-8) {
+				t.Fatalf("w=%d n=%d: L·X ≠ I", w, n)
+			}
+			a, _ := diagonallyDominant(rng, n)
+			ai0, ast0, err := Inverse(a, w, Options{Engine: core.EngineCompiled})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				ex := core.NewExecutor(workers)
+				for _, eng := range []core.Engine{core.EngineCompiled, core.EngineOracle} {
+					x1, st1, err := LowerTriangularInverse(l, w, Options{Engine: eng, Executor: ex})
+					if err != nil {
+						t.Fatalf("parallel %v inverse (w=%d n=%d workers=%d): %v", eng, w, n, workers, err)
+					}
+					if !x0.Equal(x1, 0) || !reflect.DeepEqual(st0, st1) {
+						t.Fatalf("w=%d n=%d workers=%d %v: parallel inverse differs\nserial   %+v\nparallel %+v",
+							w, n, workers, eng, st0, st1)
+					}
+				}
+				ai1, ast1, err := Inverse(a, w, Options{Engine: core.EngineCompiled, Executor: ex})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ai0.Equal(ai1, 0) || !reflect.DeepEqual(ast0, ast1) {
+					t.Fatalf("w=%d n=%d workers=%d: parallel Inverse differs from serial", w, n, workers)
+				}
+				ex.Close()
+			}
+		}
+	}
+}
+
 // TestWorkspaceReuse: repeated solves on one workspace — different
 // problems, different shapes — must match fresh-workspace solves exactly
 // (no state leaking between calls).

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// TestShardClamping: zero and negative shard counts and queue bounds fall
+// back to the documented defaults instead of panicking or deadlocking.
+func TestShardClamping(t *testing.T) {
+	for _, shards := range []int{0, -3} {
+		s := New(Config{Shards: shards, QueueBound: -1})
+		if got, want := s.Shards(), runtime.GOMAXPROCS(0); got != want {
+			t.Errorf("Shards(%d) clamps to %d, want GOMAXPROCS=%d", shards, got, want)
+		}
+		a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+		tk, err := s.SubmitMatVec(2, core.MatVecProblem{A: a, X: matrix.Vector{1, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Y.Equal(matrix.Vector{3, 7}, 0) {
+			t.Errorf("clamped scheduler solved wrong: %v", res.Y)
+		}
+		s.Close()
+	}
+}
+
+// TestSubmitAfterClose: every submission path reports ErrClosed after
+// Close, and Close is idempotent.
+func TestSubmitAfterClose(t *testing.T) {
+	s := New(Config{Shards: 2})
+	s.Close()
+	s.Close() // idempotent
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := s.SubmitMatVec(2, core.MatVecProblem{A: a, X: matrix.Vector{1, 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitMatVec after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.SubmitMatMul(2, core.MatMulProblem{A: a, B: a}); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitMatMul after Close: %v, want ErrClosed", err)
+	}
+	dst := make(matrix.Vector, 2)
+	if _, err := s.SubmitMatVecInto(dst, a, matrix.Vector{1, 1}, nil, 2, core.EngineAuto); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitMatVecInto after Close: %v, want ErrClosed", err)
+	}
+	mdst := matrix.NewDense(2, 2)
+	if _, err := s.SubmitMatMulInto(mdst, a, a, nil, 2, core.EngineAuto); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitMatMulInto after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.MatVecBatch(2, []core.MatVecProblem{{A: a, X: matrix.Vector{1, 1}}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("MatVecBatch after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSaturation: under the Shed policy a scheduler whose single shard is
+// occupied and whose queue is full fails fast with ErrSaturated, resumes
+// accepting once drained, and counts the shed submissions.
+func TestSaturation(t *testing.T) {
+	s := New(Config{Shards: 1, QueueBound: 1, Policy: Shed})
+	defer s.Close()
+	// Occupy the only shard through a scheduler-backed executor pass.
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	ex := s.NewExecutor()
+	ex.Submit(func(int, *core.Arena) {
+		close(running)
+		<-gate
+	})
+	<-running
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	p := core.MatVecProblem{A: a, X: matrix.Vector{1, 1}}
+	// One job fits the queue; the next must shed.
+	tk1, err := s.SubmitMatVec(2, p)
+	if err != nil {
+		t.Fatalf("first submit should queue: %v", err)
+	}
+	if _, err := s.SubmitMatVec(2, p); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("second submit: %v, want ErrSaturated", err)
+	}
+	dst := make(matrix.Vector, 2)
+	if _, err := s.SubmitMatVecInto(dst, a, matrix.Vector{1, 1}, nil, 2, core.EngineAuto); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Into submit while saturated: %v, want ErrSaturated", err)
+	}
+	close(gate)
+	ex.Barrier()
+	if res, err := tk1.Wait(); err != nil || !res.Y.Equal(matrix.Vector{3, 7}, 0) {
+		t.Fatalf("queued job after drain: %v %v", res, err)
+	}
+	// Admission works again once the queue has space.
+	tk2, err := s.SubmitMatVec(2, p)
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if _, err := tk2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Shed != 2 || st.Submitted != 2 {
+		t.Errorf("stats %+v, want 2 shed and 2 submitted", st)
+	}
+}
+
+// TestAffinityHammer pounds one shape from many goroutines at once — the
+// contended steady-state path (shared shard queue, plan memo hits, pooled
+// jobs) that the -race job checks for data races — and verifies every
+// result.
+func TestAffinityHammer(t *testing.T) {
+	s := New(Config{Shards: 2, QueueBound: 8})
+	defer s.Close()
+	const goroutines, perG = 8, 40
+	w := 3
+	a := matrix.FromRows([][]float64{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+		{13, 14, 15, 16},
+	})
+	x := matrix.Vector{1, -1, 2, -2}
+	want := a.MulVec(x, nil)
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make(matrix.Vector, a.Rows())
+			for i := 0; i < perG; i++ {
+				tk, err := s.SubmitMatVecInto(dst, a, x, nil, w, core.EngineCompiled)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if _, err := tk.Wait(); err != nil {
+					errs[g] = err
+					return
+				}
+				if !dst.Equal(want, 0) {
+					errs[g] = errors.New("wrong result under contention")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if st := s.Stats(); st.Completed != goroutines*perG {
+		t.Errorf("completed %d jobs, want %d", st.Completed, goroutines*perG)
+	}
+}
+
+// TestInvalidDst: the Into submissions validate destination shapes at the
+// submission boundary (a panic inside a shard would take the fleet down).
+func TestInvalidDst(t *testing.T) {
+	s := New(Config{Shards: 1})
+	defer s.Close()
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := s.SubmitMatVecInto(make(matrix.Vector, 3), a, matrix.Vector{1, 1}, nil, 2, core.EngineAuto); err == nil {
+		t.Error("matvec dst length mismatch should fail at submit")
+	}
+	if _, err := s.SubmitMatMulInto(matrix.NewDense(3, 3), a, a, nil, 2, core.EngineAuto); err == nil {
+		t.Error("matmul dst shape mismatch should fail at submit")
+	}
+}
+
+// TestStreamZeroAllocSteadyState pins the stream acceptance criterion:
+// once the affinity shard is warm on a shape, a compiled Into job —
+// submit, execute, redeem — allocates nothing.
+func TestStreamZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	w := 4
+	a := matrix.NewDense(16, 16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			a.Set(i, j, float64(i+j+1))
+		}
+	}
+	x := make(matrix.Vector, 16)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	dst := make(matrix.Vector, 16)
+	roundTrip := func() {
+		tk, err := s.SubmitMatVecInto(dst, a, x, nil, w, core.EngineCompiled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip() // warm the shard's plan memo and the job pool
+	if allocs := testing.AllocsPerRun(50, roundTrip); allocs != 0 {
+		t.Errorf("steady-state stream job allocates %v objects/op, want 0", allocs)
+	}
+}

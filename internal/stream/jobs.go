@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// jobKind discriminates the workloads a shard can run.
+type jobKind uint8
+
+const (
+	matvecFull jobKind = iota
+	matmulFull
+	matvecPass
+	matmulPass
+)
+
+// job is one unit of stream work: inputs, the completion signal and the
+// result slots, pooled so the steady state of a warmed stream submits
+// without allocating. A job implements core.Pass and runs on the shard's
+// goroutine with the shard's arena.
+type job struct {
+	s    *Scheduler
+	kind jobKind
+	w    int
+	eng  core.Engine
+
+	// Pass-style inputs (Into jobs; results land in caller-owned dst).
+	dst              matrix.Vector
+	a                *matrix.Dense
+	x, b             matrix.Vector
+	mdst, ma, mb, me *matrix.Dense
+
+	// Full-result inputs.
+	mvp core.MatVecProblem
+	mmp core.MatMulProblem
+
+	// Outputs.
+	steps int
+	mvres *core.MatVecResult
+	mmres *core.MatMulResult
+	err   error
+
+	// done carries exactly one completion signal per submission; the
+	// ticket's Wait consumes it, keeping the channel clean for reuse.
+	done chan struct{}
+}
+
+// RunPass executes the job on the running shard's arena and signals the
+// ticket. Full jobs go through the same core solvers a serial caller would
+// use (global plan cache, fresh result); pass jobs replay through the
+// shard arena's plan memo and write into the caller's buffer, allocating
+// nothing once the shard is warm on that shape.
+func (j *job) RunPass(_ int, ar *core.Arena) {
+	switch j.kind {
+	case matvecFull:
+		j.mvres, j.err = core.NewMatVecSolver(j.w).Solve(j.mvp.A, j.mvp.X, j.mvp.B, j.mvp.Opts)
+	case matmulFull:
+		j.mmres, j.err = core.NewMatMulSolver(j.w).Solve(j.mmp.A, j.mmp.B, j.mmp.Opts)
+	case matvecPass:
+		j.steps, j.err = ar.MatVecPass(j.dst, j.a, j.x, j.b, j.w, j.eng)
+	case matmulPass:
+		j.steps, j.err = ar.MatMulPass(j.mdst, j.ma, j.mb, j.me, j.w, j.eng)
+	}
+	j.s.completed.Add(1)
+	j.done <- struct{}{}
+}
+
+// MatVecTicket is the one-shot future of a SubmitMatVec job.
+type MatVecTicket struct{ j *job }
+
+// Wait blocks until the job finishes and returns its result — exactly what
+// the serial core.MatVecSolver.Solve would return, statistics included.
+// Each ticket must be redeemed at most once; the zero ticket (returned
+// alongside a Submit error) must not be waited on.
+func (t MatVecTicket) Wait() (*core.MatVecResult, error) {
+	j := t.j
+	<-j.done
+	res, err := j.mvres, j.err
+	j.s.release(j)
+	return res, err
+}
+
+// MatMulTicket is the one-shot future of a SubmitMatMul job.
+type MatMulTicket struct{ j *job }
+
+// Wait blocks until the job finishes and returns its result; see
+// MatVecTicket.Wait for the redemption rules.
+func (t MatMulTicket) Wait() (*core.MatMulResult, error) {
+	j := t.j
+	<-j.done
+	res, err := j.mmres, j.err
+	j.s.release(j)
+	return res, err
+}
+
+// PassTicket is the one-shot future of an Into job: the result lands in
+// the buffer the caller handed to Submit, Wait returns the measured step
+// count.
+type PassTicket struct{ j *job }
+
+// Wait blocks until the job finishes and returns the pass's measured step
+// count T; the caller's dst holds the result. See MatVecTicket.Wait for
+// the redemption rules.
+func (t PassTicket) Wait() (int, error) {
+	j := t.j
+	<-j.done
+	steps, err := j.steps, j.err
+	j.s.release(j)
+	return steps, err
+}
+
+// SubmitMatVec enqueues one y = A·x + b problem for a w-PE linear array
+// and returns its ticket. The problem's inputs must stay untouched until
+// the ticket is redeemed.
+func (s *Scheduler) SubmitMatVec(w int, p core.MatVecProblem) (MatVecTicket, error) {
+	j := s.get()
+	j.kind, j.w, j.mvp = matvecFull, w, p
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matvecFull, w, p.A.Rows(), p.A.Cols(), int(p.Opts.Engine))); err != nil {
+		return MatVecTicket{}, err
+	}
+	return MatVecTicket{j}, nil
+}
+
+// SubmitMatMul enqueues one C = A·B [+ E] problem for a w×w hexagonal
+// array and returns its ticket. The problem's inputs must stay untouched
+// until the ticket is redeemed.
+func (s *Scheduler) SubmitMatMul(w int, p core.MatMulProblem) (MatMulTicket, error) {
+	j := s.get()
+	j.kind, j.w, j.mmp = matmulFull, w, p
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matmulFull, w, p.A.Rows(), p.B.Cols(), p.A.Cols())); err != nil {
+		return MatMulTicket{}, err
+	}
+	return MatMulTicket{j}, nil
+}
+
+// SubmitMatVecInto enqueues one y = A·x + b pass (b may be nil) writing
+// into dst (len = A.Rows(), which must not alias x or b) on the selected
+// engine — the zero-allocation stream path: once the affinity shard is
+// warm on the shape, submit and execution allocate nothing. Inputs and dst
+// must stay untouched until the ticket is redeemed.
+func (s *Scheduler) SubmitMatVecInto(dst matrix.Vector, a *matrix.Dense, x, b matrix.Vector, w int, eng core.Engine) (PassTicket, error) {
+	if len(dst) != a.Rows() {
+		return PassTicket{}, fmt.Errorf("stream: dst len %d, want %d", len(dst), a.Rows())
+	}
+	j := s.get()
+	j.kind, j.w, j.eng = matvecPass, w, eng
+	j.dst, j.a, j.x, j.b = dst, a, x, b
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matvecPass, w, a.Rows(), a.Cols(), int(eng))); err != nil {
+		return PassTicket{}, err
+	}
+	return PassTicket{j}, nil
+}
+
+// SubmitMatMulInto enqueues one C = A·B + E pass (e may be nil) writing
+// into dst (A.Rows()×B.Cols(), which must not alias a, b or e) on the
+// selected engine; allocation behavior matches SubmitMatVecInto. Inputs
+// and dst must stay untouched until the ticket is redeemed.
+func (s *Scheduler) SubmitMatMulInto(dst, a, b, e *matrix.Dense, w int, eng core.Engine) (PassTicket, error) {
+	if dst.Rows() != a.Rows() || dst.Cols() != b.Cols() {
+		return PassTicket{}, fmt.Errorf("stream: dst %d×%d, want %d×%d", dst.Rows(), dst.Cols(), a.Rows(), b.Cols())
+	}
+	j := s.get()
+	j.kind, j.w, j.eng = matmulPass, w, eng
+	j.mdst, j.ma, j.mb, j.me = dst, a, b, e
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matmulPass, w, a.Rows(), b.Cols(), a.Cols())); err != nil {
+		return PassTicket{}, err
+	}
+	return PassTicket{j}, nil
+}

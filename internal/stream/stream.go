@@ -1,0 +1,242 @@
+// Package stream is the sharded stream-scheduler runtime: a persistent
+// fleet of simulated systolic arrays serving a continuous stream of matrix
+// problems, the way the paper's fixed arrays serve one logical problem
+// after another. It unifies the repository's two older parallel runtimes —
+// the one-shot core.Batch worker pool and the intra-solve core.Executor
+// pass pool — over a single core.Fleet, so one worker budget carries
+// inter-problem jobs and intra-solve passes at once without
+// oversubscription.
+//
+// A Scheduler owns the fleet. Jobs are submitted asynchronously and routed
+// by shape affinity: problems of the same shape hash to the same shard,
+// whose private schedule.PlanMemo (inside its core.Arena) already holds the
+// compiled plan, so the steady state of a repeating-shape stream replays
+// plans without touching the global caches — and, on the Into job variants,
+// without allocating at all. Idle shards steal from sibling queues, so
+// affinity is a locality heuristic, never a load-balance hazard.
+//
+// Admission is controlled per scheduler: every shard queue is bounded, and
+// a full queue either blocks the submitter (Block, the default) or fails
+// fast with ErrSaturated so a load-shedding caller can drop or retry
+// (Shed). Results come back through typed one-shot tickets; Flush drains
+// everything in flight and Close retires the fleet.
+//
+// Determinism: a job's result and statistics never depend on the shard that
+// runs it, on stealing, or on the shard count — every job is solved by the
+// same engine code paths as a serial core call, so a stream run is
+// DeepEqual to solving the same problems one by one (the cross-runtime
+// equivalence suite and cmd/soak's stream category enforce this).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Policy selects what Submit does when the routed shard queue is full.
+type Policy int
+
+const (
+	// Block makes Submit wait for queue space — backpressure for callers
+	// that must not lose work. Stealing keeps the wait bounded by queue
+	// service time.
+	Block Policy = iota
+	// Shed makes Submit try every shard without blocking and return
+	// ErrSaturated when all queues are full — load shedding for callers
+	// with their own drop or retry policy.
+	Shed
+)
+
+// String names the policy for logs and error messages.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Shed:
+		return "shed"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ErrSaturated is returned by Submit under the Shed policy when every shard
+// queue is full. The job was not enqueued; the caller owns the retry/drop
+// decision.
+var ErrSaturated = errors.New("stream: every shard queue is full")
+
+// ErrClosed is returned by submissions after Close.
+var ErrClosed = core.ErrClosed
+
+// Config sizes a Scheduler. The zero value is ready to use: GOMAXPROCS
+// shards, the default queue bound, blocking admission.
+type Config struct {
+	// Shards is the number of simulated arrays (values < 1 mean GOMAXPROCS).
+	Shards int
+	// QueueBound caps each shard's work queue (values < 1 mean
+	// core.DefaultQueueBound).
+	QueueBound int
+	// Policy selects the admission behavior when a queue is full.
+	Policy Policy
+}
+
+// Scheduler is the persistent stream runtime; see the package comment for
+// the model. Create one with New, submit with the Submit* methods, drain
+// with Flush, retire with Close.
+type Scheduler struct {
+	fleet  *core.Fleet
+	policy Policy
+	jobs   sync.Pool
+	closed atomic.Bool
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	shed      atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of a scheduler's counters.
+type Stats struct {
+	// Shards is the fleet size.
+	Shards int
+	// Submitted counts accepted jobs, Completed finished ones; the
+	// difference is the in-flight depth.
+	Submitted, Completed uint64
+	// Shed counts Submit calls rejected with ErrSaturated.
+	Shed uint64
+}
+
+// New starts a scheduler per cfg. Close it when done.
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{
+		fleet:  core.NewFleet(cfg.Shards, cfg.QueueBound),
+		policy: cfg.Policy,
+	}
+	s.jobs.New = func() interface{} { return &job{s: s, done: make(chan struct{}, 1)} }
+	return s
+}
+
+// Shards returns the number of simulated arrays.
+func (s *Scheduler) Shards() int { return s.fleet.Shards() }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Shards:    s.fleet.Shards(),
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Shed:      s.shed.Load(),
+	}
+}
+
+// Flush blocks until every accepted job has finished. Tickets stay
+// redeemable afterwards (their Waits return immediately). Flush must not
+// race with Submit calls from other goroutines.
+func (s *Scheduler) Flush() { s.fleet.Flush() }
+
+// Close flushes the stream and stops the fleet. Submissions after Close
+// return ErrClosed; unredeemed tickets from before Close stay redeemable.
+// Close is idempotent. Executors created by NewExecutor must be done
+// before Close.
+func (s *Scheduler) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.fleet.Close()
+}
+
+// NewExecutor returns a pass executor running on this scheduler's fleet,
+// for wiring into solve.Options.Executor: one worker budget then serves
+// the problem stream and the intra-solve pass fan-out together. Use it
+// from host goroutines only — a stream job must not block on an executor
+// backed by its own scheduler (its barrier could wait on passes queued
+// behind the very shard it occupies). The executor shares the fleet, so
+// close the executor before the scheduler.
+func (s *Scheduler) NewExecutor() *core.Executor {
+	return core.NewExecutorFleet(s.fleet)
+}
+
+// MatVecBatch solves a one-shot slice of problems on the scheduler's fleet
+// with blocking admission — the batch-API compatibility path
+// (core.MatVecSolver.SolveBatch routes through the same substrate, just on
+// a transient fleet). Results align with problems; on error the failing
+// entries are nil and a joined error covering every failing index is
+// returned alongside the successful results.
+func (s *Scheduler) MatVecBatch(w int, problems []core.MatVecProblem) ([]*core.MatVecResult, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	solver := core.NewMatVecSolver(w)
+	return core.BatchOn(s.fleet, problems, func(p core.MatVecProblem) (*core.MatVecResult, error) {
+		return solver.Solve(p.A, p.X, p.B, p.Opts)
+	})
+}
+
+// MatMulBatch is MatVecBatch for matrix–matrix problems.
+func (s *Scheduler) MatMulBatch(w int, problems []core.MatMulProblem) ([]*core.MatMulResult, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	solver := core.NewMatMulSolver(w)
+	return core.BatchOn(s.fleet, problems, func(p core.MatMulProblem) (*core.MatMulResult, error) {
+		return solver.Solve(p.A, p.B, p.Opts)
+	})
+}
+
+// get draws a recycled job.
+func (s *Scheduler) get() *job { return s.jobs.Get().(*job) }
+
+// release scrubs a redeemed job and recycles it. Only Wait releases jobs —
+// a never-redeemed ticket's job is dropped to the garbage collector rather
+// than recycled with a stale completion signal.
+func (s *Scheduler) release(j *job) {
+	j.dst, j.a, j.x, j.b = nil, nil, nil, nil
+	j.mdst, j.ma, j.mb, j.me = nil, nil, nil, nil
+	j.mvp, j.mmp = core.MatVecProblem{}, core.MatMulProblem{}
+	j.mvres, j.mmres = nil, nil
+	j.steps, j.err = 0, nil
+	s.jobs.Put(j)
+}
+
+// enqueue routes one job to its affinity shard under the scheduler's
+// admission policy, reclaiming the job on every failure path.
+func (s *Scheduler) enqueue(j *job, shard int) error {
+	if s.closed.Load() {
+		s.release(j)
+		return ErrClosed
+	}
+	if s.policy == Block {
+		if err := s.fleet.SubmitTo(shard, j); err != nil {
+			s.release(j)
+			return err
+		}
+		s.submitted.Add(1)
+		return nil
+	}
+	// Shed: the affinity shard first, then every sibling, never blocking.
+	for d := 0; d < s.fleet.Shards(); d++ {
+		ok, err := s.fleet.TrySubmitTo((shard+d)%s.fleet.Shards(), j)
+		if err != nil {
+			s.release(j)
+			return err
+		}
+		if ok {
+			s.submitted.Add(1)
+			return nil
+		}
+	}
+	s.shed.Add(1)
+	s.release(j)
+	return ErrSaturated
+}
+
+// shardOf hashes a job's shape key onto a shard: same shape, same shard,
+// so the shard's plan memo already holds the compiled plan.
+func shardOf(shards int, kind jobKind, d0, d1, d2, d3 int) int {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range [5]int{int(kind), d0, d1, d2, d3} {
+		h ^= uint64(v) + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+	}
+	return int(h % uint64(shards))
+}

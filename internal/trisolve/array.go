@@ -40,6 +40,15 @@ import (
 // Array is the w-PE band triangular solver.
 type Array struct {
 	W int
+	// RecordTrace enables boundary event recording on SolveBand (parity
+	// with the linear and hexagonal arrays): PortYIn marks the zero partial
+	// sum injected at PE w−1 at cycle 2i, PortA a band coefficient
+	// L[i][i−d] consumed at PE d (Index = i·w + d), PortYOut the solution
+	// x_i emitted by the divider at cycle 2i+w−1, and PortX its re-entry
+	// into the x stream one cycle later (the self-feeding recurrence).
+	// Traces are only observable structurally, so RecordTrace restricts
+	// SolveBandEngine to the oracle.
+	RecordTrace bool
 }
 
 // New returns a triangular solver array with w PEs.
@@ -59,6 +68,8 @@ type Result struct {
 	Activity *systolic.Activity
 	// Divisions is the division count of PE 0 (= n).
 	Divisions int
+	// Trace is the boundary trace when Array.RecordTrace is set, else nil.
+	Trace *systolic.Trace
 }
 
 type triItem struct {
@@ -88,7 +99,7 @@ func validateBand(l *matrix.Band, b matrix.Vector, w int) {
 // return bit-identical results and statistics; the cross-engine tests
 // enforce this. The only error is an unsatisfiable engine request.
 func (ar *Array) SolveBandEngine(l *matrix.Band, b matrix.Vector, eng core.Engine) (*Result, error) {
-	useCompiled, err := eng.Resolve(false)
+	useCompiled, err := eng.Resolve(ar.RecordTrace)
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +141,9 @@ func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
 		X:        make(matrix.Vector, n),
 		Activity: systolic.NewActivity(w),
 	}
+	if ar.RecordTrace {
+		res.Trace = &systolic.Trace{}
+	}
 	if n == 0 {
 		return res
 	}
@@ -146,6 +160,7 @@ func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
 					panic(fmt.Sprintf("trisolve: y collision at cycle %d", t))
 				}
 				yregs[w-1] = triItem{live: true, idx: i}
+				res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortYIn, Index: i})
 			}
 		}
 
@@ -159,8 +174,10 @@ func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
 			if i-j != k {
 				panic(fmt.Sprintf("trisolve: misaligned meeting at PE %d cycle %d: y%d x%d", k, t, i, j))
 			}
-			yregs[k].val += l.At(i, j) * xregs[k].val
+			v := l.At(i, j)
+			yregs[k].val += v * xregs[k].val
 			res.Activity.MACs[k]++
+			res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortA, Index: i*w + k, Value: v})
 		}
 		// PE 0: division. x_i = (b_i − y_i)/L[i][i], emitted into the x
 		// stream and recorded as output.
@@ -175,6 +192,8 @@ func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
 			res.X[i] = x
 			res.Divisions++
 			res.Activity.MACs[0]++ // count the division as PE 0 work
+			res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortA, Index: i * w, Value: d})
+			res.Trace.Record(systolic.Event{Cycle: t, Port: systolic.PortYOut, Index: i, Value: x})
 			emitted = triItem{live: true, idx: i, val: x}
 		}
 
@@ -193,6 +212,7 @@ func (ar *Array) SolveBand(l *matrix.Band, b matrix.Vector) *Result {
 				continue
 			}
 			xregs[1] = emitted
+			res.Trace.Record(systolic.Event{Cycle: t + 1, Port: systolic.PortX, Index: emitted.idx, Value: emitted.val})
 		}
 	}
 	res.T = maxT + 1

@@ -11,9 +11,43 @@
 // schedule the compiled-schedule fast engine (shape-cached event plans
 // executed in O(MACs), bit-identical to the oracle), analysis the paper's
 // closed forms, baseline/sparse/solve the comparison points and §4
-// extensions, and core the public solver facade with engine selection and
-// the SolveBatch worker-pool API. See DESIGN.md for the system inventory
-// and two-engine architecture and EXPERIMENTS.md for paper-vs-measured
-// results; the benchmarks in bench_test.go regenerate every experiment's
-// headline metrics.
+// extensions, core the public solver facade with engine selection and the
+// SolveBatch worker-pool API, and stream the sharded stream-scheduler
+// runtime that keeps a persistent fleet of simulated arrays busy across a
+// continuous problem stream (NewStream below is its entry point). See
+// DESIGN.md for the system inventory and two-engine architecture and
+// EXPERIMENTS.md for paper-vs-measured results; the benchmarks in
+// bench_test.go regenerate every experiment's headline metrics.
 package repro
+
+import "repro/internal/stream"
+
+// Stream is the sharded stream-scheduler runtime: a persistent fleet of
+// simulated systolic arrays serving an asynchronous problem stream, with
+// shape-affinity routing, work stealing and bounded admission. See
+// internal/stream for the full model.
+type Stream = stream.Scheduler
+
+// StreamConfig sizes a Stream; the zero value means GOMAXPROCS shards,
+// the default queue bound and blocking admission.
+type StreamConfig = stream.Config
+
+// StreamPolicy selects what a saturated Stream does on Submit:
+// StreamBlock applies backpressure, StreamShed fails fast with
+// stream.ErrSaturated.
+type StreamPolicy = stream.Policy
+
+// StreamBlock and StreamShed are the admission policies of a Stream.
+const (
+	StreamBlock StreamPolicy = stream.Block
+	StreamShed  StreamPolicy = stream.Shed
+)
+
+// NewStream starts a stream scheduler; Close it when done. Typical use:
+//
+//	s := repro.NewStream(repro.StreamConfig{Shards: 4})
+//	defer s.Close()
+//	t, err := s.SubmitMatVec(8, core.MatVecProblem{A: a, X: x})
+//	...
+//	res, err := t.Wait()
+func NewStream(cfg StreamConfig) *Stream { return stream.New(cfg) }
