@@ -1,12 +1,14 @@
 // Command benchjson records a machine-readable perf snapshot of the
 // headline benchmarks: ns/op, allocs/op, B/op and the paper-comparable
 // metrics (steps, MACs, problems/s) for the two execution engines across
-// every compiled workload (matvec, matmul, trisolve, LU, full solve), the
+// every compiled workload (matvec, matmul, trisolve, LU, full solve, and
+// the pattern-keyed sparse matvec at a repeated-stencil pattern, E16), the
 // solver workspaces (steady-state, 0 allocs/op on the compiled rows), the
 // intra-solve parallel executor at worker counts {1, 2, NumCPU} (E14), the
 // stream scheduler at shard counts {1, 2, NumCPU} (E15: single-job round
-// trip at 0 allocs/op after warmup, plus deep-pipeline jobs/s), the
-// steady-state compiled execution, and the batch throughput API. It emits
+// trip at 0 allocs/op after warmup, plus deep-pipeline jobs/s, plus the
+// pattern-routed sparse-stream rows), the steady-state compiled execution,
+// and the batch throughput API. It emits
 // BENCH_<date>.json by default, extending the perf trajectory that future
 // changes are judged against; cmd/benchdiff compares two snapshots and
 // gates regressions in CI.
@@ -33,6 +35,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/schedule"
 	"repro/internal/solve"
+	"repro/internal/sparse"
 	"repro/internal/stream"
 	"repro/internal/trisolve"
 )
@@ -268,6 +271,47 @@ func main() {
 		ex.Close()
 	}
 
+	// Sparse matvec (§4) on both engines at a repeated-stencil pattern
+	// (block tridiagonal): the pattern-keyed compiled plan against the
+	// structural simulator, results and stats bit-identical (E16).
+	sw, snb := 4, 16
+	sa := matrix.NewDense(snb*sw, snb*sw)
+	for r := 0; r < snb; r++ {
+		for _, s := range []int{r - 1, r, r + 1} {
+			if s < 0 || s >= snb {
+				continue
+			}
+			for i := 0; i < sw; i++ {
+				for j := 0; j < sw; j++ {
+					sa.Set(r*sw+i, s*sw+j, float64(rng.Intn(9)-4))
+				}
+			}
+		}
+	}
+	str := sparse.NewMatVec(sa, sw)
+	sx := matrix.RandomVector(rng, snb*sw, 3)
+	sb := matrix.RandomVector(rng, snb*sw, 3)
+	for _, eng := range []struct {
+		name string
+		e    core.Engine
+	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
+		eng := eng
+		entries = append(entries, bench(fmt.Sprintf("sparse/matvec/w=%d/nb=%d/tridiag/%s", sw, snb, eng.name),
+			map[string]float64{"Q": float64(str.TotalBlocks()), "density": str.Density()},
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := str.SolveEngine(sx, sb, eng.e)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.T), "steps")
+					}
+				}
+			}))
+	}
+
 	// Steady-state compiled execution (schedule cached, buffers reused):
 	// the 0 allocs/op core of the engine.
 	tv := dbt.NewMatVec(av, 8)
@@ -371,6 +415,32 @@ func main() {
 				}
 			}
 			b.ReportMetric(float64(depth*b.N)/b.Elapsed().Seconds(), "jobs/s")
+		}))
+		// Pattern-routed sparse Into jobs on the warm affinity shard: the
+		// sparse stream acceptance criterion, 0 allocs/op per job.
+		sdst := make(matrix.Vector, str.N)
+		entries = append(entries, bench(fmt.Sprintf("sparse-stream/matvec/w=%d/nb=%d/%s", sw, snb, name), metrics, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < 64; i++ {
+				tk, err := s.SubmitSparseMatVecInto(sdst, str, sx, sb, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk, err := s.SubmitSparseMatVecInto(sdst, str, sx, sb, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		}))
 	}
 	for _, shards := range core.PassWorkerLadder(runtime.GOMAXPROCS(0)) {

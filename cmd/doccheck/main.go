@@ -1,9 +1,9 @@
 // Command doccheck is the documentation gate CI runs on every push: it
 // fails when an internal package lacks a package doc comment, when an
 // exported identifier of the engine- and runtime-facing packages
-// (internal/core, internal/schedule, internal/stream) lacks a doc comment,
-// or when a relative markdown link in the top-level docs points at a file
-// that does not exist.
+// (internal/core, internal/schedule, internal/stream, internal/sparse)
+// lacks a doc comment, or when a relative markdown link in the top-level
+// docs points at a file that does not exist.
 //
 // Usage:
 //
@@ -24,9 +24,9 @@ import (
 )
 
 // strictPackages are the packages whose every exported identifier must
-// carry a doc comment (the public surface of the two-engine architecture
-// and the stream-scheduler runtime).
-var strictPackages = map[string]bool{"core": true, "schedule": true, "stream": true}
+// carry a doc comment (the public surface of the two-engine architecture,
+// the stream-scheduler runtime, and the pattern-keyed sparse path).
+var strictPackages = map[string]bool{"core": true, "schedule": true, "stream": true, "sparse": true}
 
 // markdownFiles are the top-level documents whose relative links must
 // resolve.

@@ -7,7 +7,11 @@
 // formulas. Every matvec/matmul case — and, in the solvers category, every
 // triangular solve and block LU — runs through BOTH execution engines: the
 // cycle-accurate structural oracle and the compiled-schedule fast path,
-// with results and stats compared bit-for-bit. The solvers category also
+// with results and stats compared bit-for-bit. The sparse category is the
+// pattern-keyed differential: random retained-block patterns solved on the
+// structural simulator, the compiled pattern-keyed plan and an arena pass,
+// all DeepEqual and matched against host arithmetic and the closed-form
+// step count. The solvers category also
 // exercises the full direct solve and the block-partitioned embedding, and
 // replays block LU, the full solve and the triangular inverse on the
 // intra-solve pass executor (independent passes fanned across simulated
@@ -16,8 +20,9 @@
 // and checks it against serial solves; and the stream category drives a
 // sustained mixed-shape problem stream through the sharded stream
 // scheduler at random shard counts — the cross-runtime differential:
-// every ticket must redeem to exactly what a serial solve of the same
-// problem returns, stats included. Exits non-zero on the first mismatch.
+// every ticket (matvec, matmul and pattern-routed sparse, full and Into
+// variants) must redeem to exactly what a serial solve of the same problem
+// returns, stats included. Exits non-zero on the first mismatch.
 //
 // Usage:
 //
@@ -249,6 +254,11 @@ func batchCase(rng *rand.Rand, maxw int) {
 	}
 }
 
+// sparseCase is the pattern-keyed differential: every random pattern runs
+// on the structural simulator (the oracle) and the compiled pattern-keyed
+// plan — whole results DeepEqual, stats included — against host reference
+// arithmetic and the closed-form step count, with the compiled pass
+// variant replayed on the shared executor's style of arena.
 func sparseCase(rng *rand.Rand, maxw int) {
 	w := 1 + rng.Intn(maxw)
 	nb := 1 + rng.Intn(5)
@@ -266,9 +276,12 @@ func sparseCase(rng *rand.Rand, maxw int) {
 		}
 	}
 	x := matrix.RandomVector(rng, mb*w, 5)
-	b := matrix.RandomVector(rng, nb*w, 5)
+	var b matrix.Vector
+	if rng.Intn(3) > 0 {
+		b = matrix.RandomVector(rng, nb*w, 5)
+	}
 	tr := sparse.NewMatVec(a, w)
-	res, err := tr.Solve(x, b)
+	res, err := tr.SolveEngine(x, b, core.EngineOracle)
 	if err != nil {
 		fail("sparse solve: %v", err)
 		return
@@ -279,7 +292,30 @@ func sparseCase(rng *rand.Rand, maxw int) {
 	if res.T != tr.PredictedSteps() {
 		fail("sparse T=%d vs predicted %d", res.T, tr.PredictedSteps())
 	}
+	cres, err := tr.SolveEngine(x, b, core.EngineCompiled)
+	if err != nil {
+		fail("sparse compiled solve: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(cres, res) {
+		fail("sparse engines disagree (w=%d n̄=%d m̄=%d density %.2f):\ncompiled %+v\noracle   %+v",
+			w, nb, mb, tr.Density(), cres, res)
+	}
+	dst := make(matrix.Vector, tr.N)
+	sparseArena.Reset()
+	steps, err := tr.PassInto(sparseArena, dst, x, b, core.EngineCompiled)
+	if err != nil {
+		fail("sparse pass: %v", err)
+		return
+	}
+	if steps != res.T || !dst.Equal(res.Y, 0) {
+		fail("sparse pass differs from structural (w=%d n̄=%d m̄=%d)", w, nb, mb)
+	}
 }
+
+// sparseArena is the arena the sparse category replays compiled passes on
+// — one owner goroutine, pattern-keyed plan memo warmed across cases.
+var sparseArena = core.NewArena()
 
 func solverCase(rng *rand.Rand, maxw int) {
 	if maxw < 2 {
@@ -441,7 +477,52 @@ func streamCase(rng *rand.Rand, maxw int) {
 			mmp, mmTickets = append(mmp, p), append(mmTickets, tk)
 		}
 	}
+	// Sparse tickets: one recycled random pattern (the affinity path) plus
+	// its zero-alloc Into variant, checked below against serial solves.
+	spw := 1 + rng.Intn(maxw)
+	spnb, spmb := 1+rng.Intn(3), 1+rng.Intn(3)
+	spa := matrix.NewDense(spnb*spw, spmb*spw)
+	for r := 0; r < spnb; r++ {
+		for c := 0; c < spmb; c++ {
+			if rng.Intn(2) == 0 {
+				for i := 0; i < spw; i++ {
+					for j := 0; j < spw; j++ {
+						spa.Set(r*spw+i, c*spw+j, float64(rng.Intn(9)-4))
+					}
+				}
+			}
+		}
+	}
+	spTr := sparse.NewMatVec(spa, spw)
+	spx := matrix.RandomVector(rng, spmb*spw, 5)
+	spTk, err := s.SubmitSparseMatVec(spTr, spx, nil, core.EngineCompiled)
+	if err != nil {
+		fail("stream submit sparse: %v", err)
+		return
+	}
+	spDst := make(matrix.Vector, spTr.N)
+	spPass, err := s.SubmitSparseMatVecInto(spDst, spTr, spx, nil, core.EngineCompiled)
+	if err != nil {
+		fail("stream submit sparse into: %v", err)
+		return
+	}
 	s.Flush()
+	spGot, err := spTk.Wait()
+	if err != nil {
+		fail("stream sparse wait: %v", err)
+		return
+	}
+	spWant, err := spTr.SolveEngine(spx, nil, core.EngineCompiled)
+	if err != nil {
+		fail("stream sparse serial check: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(spGot, spWant) {
+		fail("stream sparse differs from serial (w=%d shards=%d)", spw, shards)
+	}
+	if steps, err := spPass.Wait(); err != nil || steps != spWant.T || !spDst.Equal(spWant.Y, 0) {
+		fail("stream sparse pass differs from serial (w=%d shards=%d): %v", spw, shards, err)
+	}
 	for i, tk := range mvTickets {
 		got, err := tk.Wait()
 		if err != nil {

@@ -1,10 +1,10 @@
 // Command sweep regenerates the paper's quantitative results (experiments
-// E1–E15 of DESIGN.md): step-count formulas, utilization asymptotes,
+// E1–E16 of DESIGN.md): step-count formulas, utilization asymptotes,
 // feedback delays, register demands, baseline comparisons, the sparsity
 // ablation, the §4 variants, the execution-engine comparisons for the
-// matrix-product and solver workloads, and the intra-solve parallel
-// executor scaling — each as a table of paper-predicted vs
-// simulator-measured values.
+// matrix-product and solver workloads, the intra-solve parallel executor
+// scaling, the stream scheduler, and the pattern-keyed sparse plan ladder —
+// each as a table of paper-predicted vs simulator-measured values.
 //
 // Usage:
 //
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"runtime"
 	"sort"
 	"time"
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E15); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E16); empty = all")
 	flag.Parse()
 	exps := []struct {
 		id  string
@@ -54,6 +55,7 @@ func main() {
 		{"E13", e13, "solver workloads on both engines: trisolve, LU, full and block-partitioned solve"},
 		{"E14", e14, "intra-solve parallelism: pass executor scaling on BlockLU and the full solve"},
 		{"E15", e15, "stream scheduler: sustained mixed-shape stream throughput across shard counts"},
+		{"E16", e16, "pattern-keyed sparse plans: compiled engine across retained-block densities"},
 	}
 	ran := false
 	for _, e := range exps {
@@ -616,6 +618,65 @@ func e15() {
 			os.Exit(1)
 		}
 		s.Close()
+	}
+}
+
+// e16 measures the pattern-keyed sparse plans: a density ladder of random
+// retained-block patterns solved on both engines, results and statistics
+// required DeepEqual on every rung (the compiled plan is keyed by the
+// pattern digest and verified against the full pattern on cache hits), with
+// per-solve wall-clock, the measured schedule length against the paper's
+// dense DBT cost, and the closed-form T check.
+func e16() {
+	r := rng()
+	w, nb, mb := 4, 8, 8
+	x := matrix.RandomVector(r, mb*w, 3)
+	b := matrix.RandomVector(r, nb*w, 3)
+	fmt.Println("  every pattern solved on both engines, results and stats DeepEqual:")
+	fmt.Println("  density   Q      T  T(formula)    oracle   compiled   speedup   vs dense DBT")
+	for _, density := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		a := matrix.NewDense(nb*w, mb*w)
+		for br := 0; br < nb; br++ {
+			for bs := 0; bs < mb; bs++ {
+				if r.Float64() < density {
+					for i := 0; i < w; i++ {
+						for j := 0; j < w; j++ {
+							a.Set(br*w+i, bs*w+j, float64(r.Intn(9)-4))
+						}
+					}
+				}
+			}
+		}
+		tr := sparse.NewMatVec(a, w)
+		timeOf := func(eng core.Engine) (*sparse.Result, time.Duration) {
+			const reps = 50
+			res, err := tr.SolveEngine(x, b, eng) // warm plan cache and allocator
+			check(err)
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				res, err = tr.SolveEngine(x, b, eng)
+				check(err)
+			}
+			return res, time.Since(start) / reps
+		}
+		ores, to := timeOf(core.EngineOracle)
+		cres, tc := timeOf(core.EngineCompiled)
+		if !reflect.DeepEqual(cres, ores) {
+			fmt.Fprintf(os.Stderr, "sweep: sparse engines disagree at density %.2f\n", density)
+			os.Exit(1)
+		}
+		if cres.T != tr.PredictedSteps() {
+			fmt.Fprintf(os.Stderr, "sweep: sparse T=%d vs formula %d at density %.2f\n", cres.T, tr.PredictedSteps(), density)
+			os.Exit(1)
+		}
+		dense := analysis.MatVecSteps(w, nb, mb)
+		sp := 0.0
+		if cres.T > 0 {
+			sp = float64(dense) / float64(cres.T)
+		}
+		speedup := float64(to) / float64(tc)
+		fmt.Printf("   %.2f   %3d  %5d  %10d  %8s  %9s   %5.1fx   %.2fx\n",
+			density, cres.Q, cres.T, tr.PredictedSteps(), to, tc, speedup, sp)
 	}
 }
 

@@ -77,7 +77,10 @@ func (ar *Arena) Dense(rows, cols int) *matrix.Dense {
 }
 
 // Plans returns the arena's plan memo, for solver packages that replay
-// compiled plans directly on this arena's goroutine.
+// compiled plans directly on this arena's goroutine — the triangular
+// phases of internal/solve, and the pattern-keyed sparse passes
+// (sparse.MatVec.PassInto), which key the memo by (shape, pattern digest)
+// with full pattern verification on every hit.
 func (ar *Arena) Plans() *schedule.PlanMemo { return ar.memo }
 
 // MatVecPass computes dst = A·x + b (b may be nil) as one linear-array pass

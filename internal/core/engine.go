@@ -12,7 +12,10 @@ import "fmt"
 //     oracle and the only engine that can record boundary traces.
 //   - The compiled engine (internal/schedule) precomputes the complete
 //     event schedule per shape, caches it, and replays it in O(MACs) with
-//     zero allocations in the hot loop.
+//     zero allocations in the hot loop. The sparse matvec's schedule
+//     depends on the retained-block pattern as well, so its plans are
+//     keyed by (shape, pattern digest) and verified against the full
+//     pattern on every cache hit.
 //
 // Both produce identical results and measured statistics (T, utilization,
 // MAC counts, feedback delays); the cross-engine equivalence tests enforce

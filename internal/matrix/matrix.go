@@ -81,6 +81,12 @@ func (m *Dense) RawRow(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// Raw returns the matrix's backing storage (row-major, len Rows·Cols) — no
+// copy, no bounds checks. It exists for the compiled engine's gather paths
+// (the sparse plan indexes the padded matrix flat); callers must not
+// modify, resize or retain the slice.
+func (m *Dense) Raw() []float64 { return m.data }
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	c := NewDense(m.rows, m.cols)

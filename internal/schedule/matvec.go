@@ -16,8 +16,11 @@
 // once per shape — dense index arrays, analytic cycle stamps, feedback
 // topology — caches it in a generic bounded concurrency-safe map, and
 // replays it in O(work) with zero allocations and no liveness checks in
-// the hot loop. Workloads whose schedule depends on data rather than shape
-// (the sparse matvec) are gated with Unsupported instead of compiled.
+// the hot loop. The sparse matvec, whose schedule depends on the
+// retained-block pattern (data rather than shape), compiles too: its plans
+// are keyed by (shape, pattern digest) and every cache hit is verified
+// against the full pattern so digest collisions recompile instead of
+// corrupting results (see sparse.go).
 //
 // Execution is bit-identical to the structural engines: per result element
 // the multiply–accumulates run in exactly the cycle order the array would

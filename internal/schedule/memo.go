@@ -16,6 +16,7 @@ type PlanMemo struct {
 	mv  map[matvecKey]*MatVec
 	mm  map[matmulKey]*MatMul
 	tri map[trisolveKey]*TriSolve
+	sp  map[sparseKey]*SparseMatVec
 }
 
 // NewPlanMemo returns an empty memo.
@@ -24,6 +25,7 @@ func NewPlanMemo() *PlanMemo {
 		mv:  make(map[matvecKey]*MatVec),
 		mm:  make(map[matmulKey]*MatMul),
 		tri: make(map[trisolveKey]*TriSolve),
+		sp:  make(map[sparseKey]*SparseMatVec),
 	}
 }
 
@@ -62,4 +64,24 @@ func (pm *PlanMemo) TriSolveFor(n, w int) *TriSolve {
 	s := TriSolveFor(n, w)
 	pm.tri[key] = s
 	return s
+}
+
+// SparseMatVecFor is SparseMatVecFor through the memo. The memo key is the
+// same lossy (shape, digest) pair as the global cache's, so a hit is
+// verified against the full pattern before it is trusted; a collision falls
+// through to the global cache and the latest pattern takes the bucket. The
+// steady-state hit path — digest, map load, pattern compare — allocates
+// nothing, which is what lets the stream's sparse Into jobs run warm at
+// 0 allocs/op.
+func (pm *PlanMemo) SparseMatVecFor(w, nbar, mbar int, retained [][]int) (*SparseMatVec, error) {
+	key := sparseKey{w: w, nbar: nbar, mbar: mbar, digest: patternDigest(retained)}
+	if s, ok := pm.sp[key]; ok && s.MatchesPattern(retained) {
+		return s, nil
+	}
+	s, err := SparseMatVecFor(w, nbar, mbar, retained)
+	if err != nil {
+		return nil, err
+	}
+	pm.sp[key] = s
+	return s, nil
 }

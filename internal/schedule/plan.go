@@ -17,19 +17,23 @@ import (
 // feedback topology, activity counts), precomputed as dense index arrays.
 // A plan is immutable after compilation and shared freely across
 // goroutines; *replay* (the plan's Exec method) walks those arrays over one
-// problem's data in O(work) with zero allocations. Three workloads compile
+// problem's data in O(work) with zero allocations. Four workloads compile
 // today — matvec (linear array), matmul (hexagonal array), trisolve
-// (triangular solver array) — and cache.go holds one shape-keyed cache per
-// workload, all built on the generic planCache below.
+// (triangular solver array), and the sparse matvec (linear array, one
+// program per retained row band) — and cache.go holds one cache per
+// workload, all built on the generic planCache below. Three are shape-keyed;
+// the sparse matvec's schedule depends on the retained-block pattern (data,
+// not shape), so its cache is keyed by (shape, pattern digest) with full
+// pattern verification on every hit (see sparse.go).
 
 // Workload names one systolic workload the engine knows about. It appears
 // in error messages and identifies the per-workload plan cache.
 type Workload string
 
-// The workloads of the repository. Compiled plans exist for MatVec, MatMul
-// and TriSolve; SparseMatVec is structural-only (its schedule depends on
-// the block-sparsity pattern — data, not shape — so no shape-keyed plan
-// can exist).
+// The workloads of the repository. Compiled plans exist for all four:
+// MatVec, MatMul and TriSolve are shape-keyed, and SparseMatVec — whose
+// schedule depends on the block-sparsity pattern, data rather than shape —
+// is pattern-keyed (shape plus a collision-checked pattern digest).
 const (
 	WorkloadMatVec       Workload = "matvec"
 	WorkloadMatMul       Workload = "matmul"

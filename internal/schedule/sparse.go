@@ -1,0 +1,234 @@
+package schedule
+
+import "fmt"
+
+// This file compiles the §4 sparse matvec — the one workload whose schedule
+// depends on data, not just shape. The schedule of a sparse solve is a pure
+// function of (w, n̄, m̄) plus the retained-block *pattern*: which column
+// blocks each row band keeps. The pattern is data-derived, so the plan cache
+// for this workload is keyed by (shape, pattern digest) and every hit is
+// verified against the full canonical pattern — a digest collision recompiles
+// instead of replaying the wrong schedule (see SparseMatVecFor).
+
+// SparseMatVec is a compiled schedule for the sparsity-aware DBT matvec
+// (paper §4): one replayable program per non-empty row band over that band's
+// retained column blocks, scheduled back to back on the same w-PE linear
+// array. The U/L pairing telescopes over the retained subset (Ū_k = U_{r,c_k},
+// L̄_k = L_{r,c_{(k+1) mod q}}), so every coefficient of the compiled band is
+// an element of the padded matrix — the plan precomputes the full gather
+// (coefficient and x̄-stream indices) as dense index arrays and Exec replays
+// them in O(MACs) with no allocation.
+type SparseMatVec struct {
+	// W, NBar, MBar identify the shape half of the key.
+	W, NBar, MBar int
+
+	// Q is the retained-block count; Rows the total band row count Q·w;
+	// MACs the multiply–accumulate count Q·w².
+	Q, Rows, MACs int
+
+	// T is the step count the array would measure: Σ_r 2w·q_r over the
+	// non-empty row bands, plus (active−1)(2w−2) inter-band gaps and the
+	// 2w−3 pipeline tail — exactly 0 when Q = 0 (empty bands cost nothing).
+	T int
+
+	// MaxBandRows is the largest per-band row count q_r·w — the scratch
+	// length Exec needs for the in-flight band outputs.
+	MaxBandRows int
+
+	// q[r] is the retained-column count of row band r; retained the
+	// canonical pattern copy (hit verification — see MatchesPattern).
+	q        []int32
+	retained [][]int
+
+	// asrc/xsrc are the per-MAC gather indices into the padded matrix
+	// (row-major, stride m̄w) and the padded x vector, in the exact cycle
+	// order the array realizes (band by band, row by row, increasing
+	// diagonal d).
+	asrc, xsrc []int32
+}
+
+// compileSparseMatVec builds the schedule for one shape and pattern. It
+// errors on a malformed pattern (wrong band count, columns out of range or
+// not strictly increasing) — the failure mode of a hand-built pattern;
+// patterns derived by sparse.NewMatVec are canonical by construction.
+func compileSparseMatVec(w, nbar, mbar int, retained [][]int) (*SparseMatVec, error) {
+	if w < 1 || nbar < 1 || mbar < 1 {
+		return nil, fmt.Errorf("schedule: invalid sparse matvec shape w=%d n̄=%d m̄=%d", w, nbar, mbar)
+	}
+	if len(retained) != nbar {
+		return nil, fmt.Errorf("schedule: sparse pattern has %d row bands, want n̄=%d", len(retained), nbar)
+	}
+	s := &SparseMatVec{
+		W: w, NBar: nbar, MBar: mbar,
+		q:        make([]int32, nbar),
+		retained: make([][]int, nbar),
+	}
+	for r, cols := range retained {
+		prev := -1
+		for _, c := range cols {
+			if c <= prev || c >= mbar {
+				return nil, fmt.Errorf("schedule: sparse pattern row band %d: columns must be strictly increasing in [0,%d): %v", r, mbar, cols)
+			}
+			prev = c
+		}
+		s.q[r] = int32(len(cols))
+		s.retained[r] = append([]int(nil), cols...)
+		s.Q += len(cols)
+	}
+	s.Rows = s.Q * w
+	s.MACs = s.Rows * w
+	s.asrc = make([]int32, 0, s.MACs)
+	s.xsrc = make([]int32, 0, s.MACs)
+
+	stride := mbar * w
+	offset, last := 0, -1
+	for r, cols := range s.retained {
+		qr := len(cols)
+		if qr == 0 {
+			continue
+		}
+		rows := qr * w
+		if rows > s.MaxBandRows {
+			s.MaxBandRows = rows
+		}
+		for i := 0; i < rows; i++ {
+			k, a := i/w, i%w
+			arow := (r*w + a) * stride
+			for d := 0; d < w; d++ {
+				// Coefficient: Ū_k holds the upper triangle of block c_k,
+				// L̄_k the strictly lower triangle of the cyclic successor —
+				// with 0 ≤ d < w both branches always land on a real element.
+				bb := a + d
+				var col int
+				if bb < w {
+					col = cols[k]*w + bb
+				} else {
+					col = cols[(k+1)%qr]*w + (bb - w)
+				}
+				s.asrc = append(s.asrc, int32(arow+col))
+				// x̄ element at band column j: block ⌊j/w⌋ of the retained
+				// list, wrapping to the first block for the w−1 tail.
+				j := i + d
+				kb := j / w
+				if kb >= qr {
+					kb = 0
+				}
+				s.xsrc = append(s.xsrc, int32(cols[kb]*w+j%w))
+			}
+		}
+		// Back-to-back program offsets, exactly as the structural path
+		// schedules them; the last program's final MAC fixes T.
+		last = offset + 2*(rows-1) + 2*w - 2
+		offset += 2*w*qr + 2*w - 2
+	}
+	if last >= 0 {
+		s.T = last + 1
+	}
+	return s, nil
+}
+
+// Exec runs the compiled schedule over one problem's data. aflat is the
+// padded matrix's backing storage (row-major n̄w × m̄w), xp the padded x
+// (len ≥ m̄w), bp the padded b (len ≥ n̄w, zeros when there is no b), y the
+// output buffer (len ≥ n̄w) and ybar scratch for the in-flight band rows
+// (len ≥ MaxBandRows). Exec performs no allocation; each band row
+// accumulates its w terms in the array's cycle order (increasing diagonal,
+// feedback from the row w earlier), so results are bit-identical to the
+// structural simulator. Row bands with no retained blocks copy bp — they
+// cost no array cycles.
+func (s *SparseMatVec) Exec(aflat, xp, bp, y, ybar []float64) {
+	w := s.W
+	if len(aflat) < s.NBar*w*s.MBar*w || len(xp) < s.MBar*w || len(bp) < s.NBar*w ||
+		len(y) < s.NBar*w || len(ybar) < s.MaxBandRows {
+		panic(fmt.Sprintf("schedule: sparse Exec buffer sizes a=%d x=%d b=%d y=%d ybar=%d for w=%d n̄=%d m̄=%d maxrows=%d",
+			len(aflat), len(xp), len(bp), len(y), len(ybar), w, s.NBar, s.MBar, s.MaxBandRows))
+	}
+	m := 0
+	for r := 0; r < s.NBar; r++ {
+		qr := int(s.q[r])
+		if qr == 0 {
+			copy(y[r*w:(r+1)*w], bp[r*w:(r+1)*w])
+			continue
+		}
+		rows := qr * w
+		for l := 0; l < rows; l++ {
+			var v float64
+			if l < w {
+				v = bp[r*w+l]
+			} else {
+				v = ybar[l-w]
+			}
+			as := s.asrc[m : m+w]
+			xs := s.xsrc[m : m+w]
+			for d := 0; d < w; d++ {
+				v += aflat[as[d]] * xp[xs[d]]
+			}
+			m += w
+			ybar[l] = v
+		}
+		// The last block of the chain holds y_r.
+		copy(y[r*w:(r+1)*w], ybar[rows-w:])
+	}
+}
+
+// BandSteps returns the 2w·q_r compute span of row band r's program — 0 for
+// an empty band. The telescoped total is the T formula: Σ BandSteps +
+// (active−1)(2w−2) + 2w − 3, and exactly 0 when no band is active.
+func (s *SparseMatVec) BandSteps(r int) int {
+	return 2 * s.W * int(s.q[r])
+}
+
+// ActiveBands returns the number of row bands with at least one retained
+// block (the n̄₊ of the step-count formula).
+func (s *SparseMatVec) ActiveBands() int {
+	n := 0
+	for _, qr := range s.q {
+		if qr > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns MACs/(w·T), the PE utilization η the array would
+// measure for this pattern (0 when the schedule is empty) — the exact
+// float expression of the structural activity accounting.
+func (s *SparseMatVec) Utilization() float64 {
+	if s.T == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(s.W) * float64(s.T))
+}
+
+// PEMACs fills dst (len ≥ w) with the per-PE MAC counts of the schedule and
+// returns dst[:w]. Every band row meets every PE exactly once, so each PE
+// performs Rows MACs — the same uniform count the structural activity log
+// reports.
+func (s *SparseMatVec) PEMACs(dst []int) []int {
+	dst = dst[:s.W]
+	for k := range dst {
+		dst[k] = s.Rows
+	}
+	return dst
+}
+
+// MatchesPattern reports whether the plan was compiled for exactly this
+// retained-block pattern. Cache and memo hits verify it before replaying —
+// the collision policy that makes the digest key safe.
+func (s *SparseMatVec) MatchesPattern(retained [][]int) bool {
+	if len(retained) != s.NBar {
+		return false
+	}
+	for r, cols := range retained {
+		sc := s.retained[r]
+		if len(cols) != len(sc) {
+			return false
+		}
+		for i, c := range cols {
+			if sc[i] != c {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -9,13 +9,23 @@
 // Because the retained column sets differ between row bands, the x̄ stream
 // continuity that lets full DBT fuse all row bands into one band matrix no
 // longer holds; each row band therefore runs as its own program, scheduled
-// back to back on the same array. Total steps:
+// back to back on the same array. Total steps, with n̄₊ the number of row
+// bands that retain at least one block:
 //
-//	T = 2w·Q + (n̄−1)(2w−2) + 2w − 3
+//	T = 2w·Q + (n̄₊−1)(2w−2) + 2w − 3   (exactly 0 when Q = 0)
 //
-// where Q is the total number of retained blocks (Q = n̄m̄ recovers a cost
-// within (n̄−1)(2w−2) of the dense DBT schedule; empty row bands cost
+// where Q is the total number of retained blocks (Q = n̄m̄ and n̄₊ = n̄
+// recover a cost within (n̄−1)(2w−2) of the dense DBT schedule; row bands
+// with no retained blocks contribute no programs and no cycles — they cost
 // nothing). Correctness is exact: omitted blocks contribute exactly zero.
+//
+// Both execution engines serve the workload. The structural path runs the
+// per-band programs on the cycle-accurate linear array; the compiled path
+// replays a schedule.SparseMatVec plan keyed by (shape, pattern digest) —
+// the pattern is data, so the plan cache verifies the full retained-block
+// pattern on every hit and recompiles on a digest collision. Results and
+// statistics (T, utilization, per-PE MAC counts) are bit-identical between
+// the engines; the fuzz and soak differentials enforce it.
 package sparse
 
 import (
@@ -39,6 +49,16 @@ type MatVec struct {
 	Retained [][]int
 }
 
+// PatternKey canonically identifies a sparse matvec schedule: the shape
+// (w, n̄, m̄) plus the collision-checked digest of the retained-block
+// pattern. It is the routing key of the stream scheduler's pattern-affinity
+// path and the cache key of the compiled plan; the digest alone is never
+// trusted for plan identity (hits verify the full pattern).
+type PatternKey struct {
+	W, NBar, MBar int
+	Digest        uint64
+}
+
 // NewMatVec analyzes A's block sparsity for array size w.
 func NewMatVec(a *matrix.Dense, w int) *MatVec {
 	g := blockpart.Partition(a, w)
@@ -57,6 +77,13 @@ func NewMatVec(a *matrix.Dense, w int) *MatVec {
 	return t
 }
 
+// Key returns the canonical pattern key of this transformation. It is
+// recomputed on every call (O(Q), allocation-free), so callers holding a
+// MatVec across submissions need not cache it.
+func (t *MatVec) Key() PatternKey {
+	return PatternKey{W: t.W, NBar: t.NBar, MBar: t.MBar, Digest: schedule.PatternDigest(t.Retained)}
+}
+
 // TotalBlocks returns Q, the number of retained blocks.
 func (t *MatVec) TotalBlocks() int {
 	q := 0
@@ -71,8 +98,10 @@ func (t *MatVec) Density() float64 {
 	return float64(t.TotalBlocks()) / float64(t.NBar*t.MBar)
 }
 
-// PredictedSteps returns the closed-form schedule length (see package doc);
-// row bands with no retained blocks are skipped entirely.
+// PredictedSteps returns the closed-form schedule length (see package doc):
+// Σ 2w·q_r over the non-empty row bands plus the inter-band gaps and the
+// pipeline tail. Row bands with no retained blocks are skipped entirely,
+// and an all-zero matrix (Q = 0) costs exactly zero steps.
 func (t *MatVec) PredictedSteps() int {
 	w := t.W
 	total := 0
@@ -95,34 +124,150 @@ type Result struct {
 	Y matrix.Vector
 	// T is the measured step count, Q the retained block count.
 	T, Q int
-	// Utilization is retained ops / (w·T).
+	// Utilization is retained ops / (w·T), 0 for an empty schedule.
 	Utilization float64
+	// MACs[pe] counts the multiply–accumulates each PE executed — uniform
+	// (every band row meets every PE once) and nil when Q = 0, on both
+	// engines.
+	MACs []int
 }
 
 // SolveEngine is Solve with explicit engine selection. The sparse schedule
-// depends on the retained-block pattern — data, not shape — so no
-// shape-keyed compiled plan can exist: core.EngineCompiled returns the
-// engine layer's unsupported-workload error (match schedule.ErrUnsupported
-// with errors.Is) instead of silently falling back; core.EngineAuto and
-// core.EngineOracle run the structural simulator.
+// depends on the retained-block pattern — data, not shape — so the compiled
+// engine replays a pattern-keyed plan (schedule.SparseMatVec): compiled once
+// per (shape, pattern), verified against the full pattern on every cache
+// hit, bit-identical to the structural simulator in results and statistics.
+// core.EngineAuto resolves to the compiled path, core.EngineOracle to the
+// structural one.
 func (t *MatVec) SolveEngine(x, b matrix.Vector, eng core.Engine) (*Result, error) {
-	if _, err := eng.Resolve(false); err != nil {
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
 		return nil, err
 	}
-	if eng == core.EngineCompiled {
-		return nil, schedule.Unsupported(schedule.WorkloadSparseMatVec,
-			"the schedule depends on the block-sparsity pattern (data, not shape), so no shape-keyed plan exists")
+	if !useCompiled {
+		return t.Solve(x, b)
 	}
-	return t.Solve(x, b)
+	return t.solveCompiled(nil, x, b)
 }
 
-// Solve computes y = A·x + b on a w-PE linear array, skipping zero blocks.
-func (t *MatVec) Solve(x, b matrix.Vector) (*Result, error) {
+// SolveEngineOn is SolveEngine with compiled plans resolved through ar's
+// pattern-keyed plan memo instead of the global cache. The stream
+// scheduler's full-result sparse jobs run it on their pattern-affinity
+// shard's arena, so a repeating sparsity pattern replays the shard's
+// memoized plan without contending on the process-wide cache. The result
+// is identical to SolveEngine's (plans are immutable and shared).
+func (t *MatVec) SolveEngineOn(ar *core.Arena, x, b matrix.Vector, eng core.Engine) (*Result, error) {
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	if !useCompiled {
+		return t.Solve(x, b)
+	}
+	return t.solveCompiled(ar.Plans(), x, b)
+}
+
+// checkLens validates the operand lengths shared by every solve path.
+func (t *MatVec) checkLens(x, b matrix.Vector) error {
 	if len(x) != t.M {
-		return nil, fmt.Errorf("sparse: len(x)=%d, want %d", len(x), t.M)
+		return fmt.Errorf("sparse: len(x)=%d, want %d", len(x), t.M)
 	}
 	if b != nil && len(b) != t.N {
-		return nil, fmt.Errorf("sparse: len(b)=%d, want %d", len(b), t.N)
+		return fmt.Errorf("sparse: len(b)=%d, want %d", len(b), t.N)
+	}
+	return nil
+}
+
+// solveCompiled resolves the pattern-keyed plan — through memo when
+// non-nil, the global cache otherwise — and replays it over pooled
+// scratch.
+func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector) (*Result, error) {
+	if err := t.checkLens(x, b); err != nil {
+		return nil, err
+	}
+	var plan *schedule.SparseMatVec
+	var err error
+	if memo != nil {
+		plan, err = memo.SparseMatVecFor(t.W, t.NBar, t.MBar, t.Retained)
+	} else {
+		plan, err = schedule.SparseMatVecFor(t.W, t.NBar, t.MBar, t.Retained)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w := t.W
+	xp := schedule.GetFloatsUninit(t.MBar * w)
+	copy(*xp, x)
+	clear((*xp)[len(x):])
+	bp := schedule.GetFloatsUninit(t.NBar * w)
+	copy(*bp, b)
+	clear((*bp)[len(b):])
+	ybar := schedule.GetFloatsUninit(plan.MaxBandRows)
+	y := matrix.NewVector(t.NBar * w)
+	plan.Exec(t.Grid.Padded().Raw(), *xp, *bp, y, *ybar)
+	schedule.PutFloats(xp)
+	schedule.PutFloats(bp)
+	schedule.PutFloats(ybar)
+	res := &Result{Y: y[:t.N], T: plan.T, Q: plan.Q, Utilization: plan.Utilization()}
+	if plan.Q > 0 {
+		res.MACs = plan.PEMACs(make([]int, w))
+	}
+	return res, nil
+}
+
+// PassInto computes dst = A·x + b (b may be nil) as one sparse pass on the
+// selected engine, drawing every buffer and the pattern-keyed plan memo
+// from ar, and returns the pass's measured step count T. dst must have
+// length A.Rows() and must not alias x or b. On the compiled engine the
+// warm steady state — plan memoized on the arena, buffers reused —
+// allocates nothing; the oracle engine runs the structural simulator
+// (allocating freely) and copies the result, so both engines write
+// bit-identical values. It is the sparse counterpart of core.Arena's
+// MatVecPass, and what the stream scheduler's sparse Into jobs run on
+// their shard's arena.
+func (t *MatVec) PassInto(ar *core.Arena, dst, x, b matrix.Vector, eng core.Engine) (int, error) {
+	if len(dst) != t.N {
+		panic(fmt.Sprintf("sparse: PassInto dst len %d, want %d", len(dst), t.N))
+	}
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return 0, err
+	}
+	if !useCompiled {
+		res, err := t.Solve(x, b)
+		if err != nil {
+			return 0, err
+		}
+		copy(dst, res.Y)
+		return res.T, nil
+	}
+	if err := t.checkLens(x, b); err != nil {
+		return 0, err
+	}
+	plan, err := ar.Plans().SparseMatVecFor(t.W, t.NBar, t.MBar, t.Retained)
+	if err != nil {
+		return 0, err
+	}
+	w := t.W
+	xp := ar.Floats(t.MBar * w)
+	copy(xp, x)
+	clear(xp[len(x):])
+	bp := ar.Floats(t.NBar * w)
+	copy(bp, b)
+	clear(bp[len(b):])
+	y := ar.Floats(t.NBar * w)
+	ybar := ar.Floats(plan.MaxBandRows)
+	plan.Exec(t.Grid.Padded().Raw(), xp, bp, y, ybar)
+	copy(dst, y[:t.N])
+	return plan.T, nil
+}
+
+// Solve computes y = A·x + b on a w-PE linear array, skipping zero blocks,
+// on the cycle-accurate structural simulator (the verification oracle of
+// the compiled path — see SolveEngine).
+func (t *MatVec) Solve(x, b matrix.Vector) (*Result, error) {
+	if err := t.checkLens(x, b); err != nil {
+		return nil, err
 	}
 	w := t.W
 	xp := x.Pad(t.MBar * w)
@@ -153,6 +298,7 @@ func (t *MatVec) Solve(x, b matrix.Vector) (*Result, error) {
 		run := arr.Run(progs...)
 		res.T = run.T
 		res.Utilization = run.Activity.Utilization()
+		res.MACs = run.Activity.MACs
 		for pi, r := range progRow {
 			rows := progs[pi].Rows
 			copy(y[r*w:(r+1)*w], run.Y[pi][rows-w:]) // last block holds y_r

@@ -1,13 +1,12 @@
 package sparse
 
 import (
-	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
-	"repro/internal/schedule"
 )
 
 // blockSparse builds a matrix whose w×w blocks are nonzero with probability
@@ -131,34 +130,161 @@ func TestSparseValidation(t *testing.T) {
 	}
 }
 
-// TestSparseEngineUnsupported: the sparse schedule depends on the
-// block-sparsity pattern (data, not shape), so forcing the compiled engine
-// must return the engine layer's clear unsupported-workload error — never
-// silently fall back — while Auto and Oracle run structurally.
-func TestSparseEngineUnsupported(t *testing.T) {
+// TestSparseEngineEquiv: the compiled engine replays a pattern-keyed plan
+// that must be bit-identical to the structural simulator — results AND
+// statistics (T, utilization, per-PE MAC counts) — across random patterns,
+// with and without b, including empty bands and fully dense grids. Auto
+// resolves to the compiled path.
+func TestSparseEngineEquiv(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
+	equivArena := core.NewArena()
+	for _, w := range []int{1, 2, 3, 4} {
+		for _, density := range []float64{0, 0.2, 0.5, 0.8, 1} {
+			nb, mb := 1+rng.Intn(5), 1+rng.Intn(5)
+			a := blockSparse(rng, nb, mb, w, density)
+			x := matrix.RandomVector(rng, mb*w, 5)
+			var b matrix.Vector
+			if rng.Intn(2) == 0 {
+				b = matrix.RandomVector(rng, nb*w, 5)
+			}
+			tr := NewMatVec(a, w)
+			want, err := tr.SolveEngine(x, b, core.EngineOracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range []core.Engine{core.EngineCompiled, core.EngineAuto} {
+				got, err := tr.SolveEngine(x, b, eng)
+				if err != nil {
+					t.Fatalf("%v (w=%d density=%.1f): %v", eng, w, density, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v diverges from the structural solve (w=%d n̄=%d m̄=%d density=%.1f):\ncompiled %+v\noracle   %+v",
+						eng, w, nb, mb, density, got, want)
+				}
+				// The memo-resolved variant (the stream's full-job path)
+				// must return the identical result.
+				onArena, err := tr.SolveEngineOn(equivArena, x, b, eng)
+				if err != nil {
+					t.Fatalf("SolveEngineOn %v: %v", eng, err)
+				}
+				if !reflect.DeepEqual(onArena, want) {
+					t.Fatalf("SolveEngineOn %v diverges from the structural solve (w=%d density=%.1f)", eng, w, density)
+				}
+			}
+			if !want.Y.Equal(a.MulVec(x, b), 0) {
+				t.Fatalf("w=%d density=%.1f: wrong result", w, density)
+			}
+		}
+	}
+}
+
+// TestSparseEngineValidation: both engines report the same operand-length
+// failures, and an invalid engine value errors on the sparse path too.
+func TestSparseEngineValidation(t *testing.T) {
+	tr := NewMatVec(matrix.NewDense(4, 4), 2)
+	for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+		if _, err := tr.SolveEngine(make(matrix.Vector, 3), nil, eng); err == nil {
+			t.Errorf("%v: expected x length error", eng)
+		}
+		if _, err := tr.SolveEngine(make(matrix.Vector, 4), make(matrix.Vector, 1), eng); err == nil {
+			t.Errorf("%v: expected b length error", eng)
+		}
+	}
+	if _, err := tr.SolveEngine(make(matrix.Vector, 4), nil, core.Engine(99)); err == nil {
+		t.Error("expected unknown-engine error")
+	}
+}
+
+// TestSparseEmptyBandAccounting pins the step-count accounting the package
+// doc claims: row bands with no retained blocks cost nothing (adding one
+// leaves T unchanged), an all-zero matrix runs zero cycles on both engines,
+// and TotalBlocks/T agree with the executed schedule exactly.
+func TestSparseEmptyBandAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
 	w := 3
-	a := blockSparse(rng, 3, 3, w, 0.5)
-	x := matrix.RandomVector(rng, 3*w, 5)
+	// Base: 3 active bands; extended: same blocks plus one all-zero band.
+	base := blockSparse(rng, 3, 4, w, 1)
+	ext := matrix.NewDense(4*w, 4*w)
+	ext.SetRect(0, 0, base)
+	trBase, trExt := NewMatVec(base, w), NewMatVec(ext, w)
+	if trBase.TotalBlocks() != trExt.TotalBlocks() {
+		t.Fatalf("Q changed when adding an empty band: %d vs %d", trBase.TotalBlocks(), trExt.TotalBlocks())
+	}
+	x := matrix.RandomVector(rng, 4*w, 4)
+	b := matrix.RandomVector(rng, 4*w, 4)
+	for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+		rb, err := trBase.SolveEngine(x, b[:3*w], eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := trExt.SolveEngine(x, b, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.T != re.T || rb.T != trBase.PredictedSteps() {
+			t.Errorf("%v: empty band not free: base T=%d ext T=%d predicted %d", eng, rb.T, re.T, trBase.PredictedSteps())
+		}
+		if !reflect.DeepEqual(rb.MACs, re.MACs) {
+			t.Errorf("%v: empty band changed per-PE work: %v vs %v", eng, rb.MACs, re.MACs)
+		}
+		// The executed schedule agrees with the block accounting exactly:
+		// total MACs = Q·w², spread uniformly (one MAC per band row per PE).
+		wantPE := rb.Q * w
+		for k, m := range rb.MACs {
+			if m != wantPE {
+				t.Errorf("%v: PE %d executed %d MACs, want Q·w=%d", eng, k, m, wantPE)
+			}
+		}
+		// All-zero matrix: zero blocks, zero cycles, no PE activity — the
+		// "costs nothing" claim held exactly.
+		zero, err := NewMatVec(matrix.NewDense(2*w, 2*w), w).SolveEngine(matrix.NewVector(2*w), b[:2*w], eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if zero.T != 0 || zero.Q != 0 || zero.Utilization != 0 || zero.MACs != nil {
+			t.Errorf("%v: all-zero matrix ran cycles: %+v", eng, zero)
+		}
+		if !zero.Y.Equal(b[:2*w], 0) {
+			t.Errorf("%v: all-zero matrix must return b", eng)
+		}
+	}
+}
+
+// TestSparsePassInto: the arena pass writes exactly what SolveEngine
+// returns on both engines, and the warm compiled path allocates nothing.
+func TestSparsePassInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	w := 3
+	a := blockSparse(rng, 4, 4, w, 0.5)
+	x := matrix.RandomVector(rng, 4*w, 5)
+	b := matrix.RandomVector(rng, 4*w, 5)
 	tr := NewMatVec(a, w)
-	_, err := tr.SolveEngine(x, nil, core.EngineCompiled)
-	if err == nil {
-		t.Fatal("EngineCompiled on the sparse workload should error, not fall back")
-	}
-	if !errors.Is(err, schedule.ErrUnsupported) {
-		t.Fatalf("error %v does not wrap schedule.ErrUnsupported", err)
-	}
-	want, err := tr.Solve(x, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, eng := range []core.Engine{core.EngineAuto, core.EngineOracle} {
-		got, err := tr.SolveEngine(x, nil, eng)
+	ar := core.NewArena()
+	dst := make(matrix.Vector, tr.N)
+	for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+		want, err := tr.SolveEngine(x, b, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar.Reset()
+		steps, err := tr.PassInto(ar, dst, x, b, eng)
 		if err != nil {
 			t.Fatalf("%v: %v", eng, err)
 		}
-		if !got.Y.Equal(want.Y, 0) || got.T != want.T {
-			t.Fatalf("%v diverges from the structural solve", eng)
+		if steps != want.T || !dst.Equal(want.Y, 0) {
+			t.Fatalf("%v: PassInto diverges: steps=%d want %d", eng, steps, want.T)
 		}
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		ar.Reset()
+		if _, err := tr.PassInto(ar, dst, x, b, core.EngineCompiled); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm compiled PassInto allocates %v objects/op, want 0", allocs)
 	}
 }

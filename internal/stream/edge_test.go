@@ -2,12 +2,14 @@ package stream
 
 import (
 	"errors"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/sparse"
 )
 
 // TestShardClamping: zero and negative shard counts and queue bounds fall
@@ -55,6 +57,13 @@ func TestSubmitAfterClose(t *testing.T) {
 	if _, err := s.SubmitMatMulInto(mdst, a, a, nil, 2, core.EngineAuto); !errors.Is(err, ErrClosed) {
 		t.Errorf("SubmitMatMulInto after Close: %v, want ErrClosed", err)
 	}
+	tr := sparse.NewMatVec(a, 2)
+	if _, err := s.SubmitSparseMatVec(tr, matrix.Vector{1, 1}, nil, core.EngineAuto); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitSparseMatVec after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.SubmitSparseMatVecInto(dst, tr, matrix.Vector{1, 1}, nil, core.EngineAuto); !errors.Is(err, ErrClosed) {
+		t.Errorf("SubmitSparseMatVecInto after Close: %v, want ErrClosed", err)
+	}
 	if _, err := s.MatVecBatch(2, []core.MatVecProblem{{A: a, X: matrix.Vector{1, 1}}}); !errors.Is(err, ErrClosed) {
 		t.Errorf("MatVecBatch after Close: %v, want ErrClosed", err)
 	}
@@ -89,6 +98,13 @@ func TestSaturation(t *testing.T) {
 	if _, err := s.SubmitMatVecInto(dst, a, matrix.Vector{1, 1}, nil, 2, core.EngineAuto); !errors.Is(err, ErrSaturated) {
 		t.Fatalf("Into submit while saturated: %v, want ErrSaturated", err)
 	}
+	tr := sparse.NewMatVec(a, 2)
+	if _, err := s.SubmitSparseMatVec(tr, matrix.Vector{1, 1}, nil, core.EngineAuto); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("sparse submit while saturated: %v, want ErrSaturated", err)
+	}
+	if _, err := s.SubmitSparseMatVecInto(dst, tr, matrix.Vector{1, 1}, nil, core.EngineAuto); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("sparse Into submit while saturated: %v, want ErrSaturated", err)
+	}
 	close(gate)
 	ex.Barrier()
 	if res, err := tk1.Wait(); err != nil || !res.Y.Equal(matrix.Vector{3, 7}, 0) {
@@ -102,8 +118,8 @@ func TestSaturation(t *testing.T) {
 	if _, err := tk2.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	if st := s.Stats(); st.Shed != 2 || st.Submitted != 2 {
-		t.Errorf("stats %+v, want 2 shed and 2 submitted", st)
+	if st := s.Stats(); st.Shed != 4 || st.Submitted != 2 {
+		t.Errorf("stats %+v, want 4 shed and 2 submitted", st)
 	}
 }
 
@@ -171,6 +187,150 @@ func TestInvalidDst(t *testing.T) {
 	}
 	if _, err := s.SubmitMatMulInto(matrix.NewDense(3, 3), a, a, nil, 2, core.EngineAuto); err == nil {
 		t.Error("matmul dst shape mismatch should fail at submit")
+	}
+	if _, err := s.SubmitSparseMatVecInto(make(matrix.Vector, 3), sparse.NewMatVec(a, 2), matrix.Vector{1, 1}, nil, core.EngineAuto); err == nil {
+		t.Error("sparse dst length mismatch should fail at submit")
+	}
+}
+
+// sparseStencil builds a block-tridiagonal test matrix — the repeated
+// stencil whose pattern the affinity routing should keep on one shard.
+func sparseStencil(nb, w int) *matrix.Dense {
+	a := matrix.NewDense(nb*w, nb*w)
+	for r := 0; r < nb; r++ {
+		for _, s := range []int{r - 1, r, r + 1} {
+			if s < 0 || s >= nb {
+				continue
+			}
+			for i := 0; i < w; i++ {
+				for j := 0; j < w; j++ {
+					a.Set(r*w+i, s*w+j, float64((r+2*s+i*j)%7-3))
+				}
+			}
+		}
+	}
+	return a
+}
+
+// TestSparseAffinityHammer pounds one retained-block pattern from many
+// goroutines through schedulers at shard counts {1, 2, NumCPU} under both
+// admission policies — the contended pattern-affinity steady state (shared
+// shard queue, pattern-keyed memo hits, pooled jobs) the -race job checks —
+// verifying every result against the serial references.
+func TestSparseAffinityHammer(t *testing.T) {
+	w := 3
+	a := sparseStencil(4, w)
+	tr := sparse.NewMatVec(a, w)
+	x := make(matrix.Vector, a.Cols())
+	for i := range x {
+		x[i] = float64(i%5 - 2)
+	}
+	want := a.MulVec(x, nil)
+	serial, err := tr.SolveEngine(x, nil, core.EngineCompiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		for _, pol := range []Policy{Block, Shed} {
+			s := New(Config{Shards: shards, QueueBound: 8, Policy: pol})
+			const goroutines, perG = 6, 30
+			var wg sync.WaitGroup
+			errs := make([]error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					dst := make(matrix.Vector, tr.N)
+					for i := 0; i < perG; i++ {
+						// Alternate the Into fast path and the full-result
+						// ticket; under Shed, retry sheds (load is bursty).
+						if i%2 == 0 {
+							tk, err := s.SubmitSparseMatVecInto(dst, tr, x, nil, core.EngineCompiled)
+							for errors.Is(err, ErrSaturated) {
+								tk, err = s.SubmitSparseMatVecInto(dst, tr, x, nil, core.EngineCompiled)
+							}
+							if err != nil {
+								errs[g] = err
+								return
+							}
+							if _, err := tk.Wait(); err != nil {
+								errs[g] = err
+								return
+							}
+							if !dst.Equal(want, 0) {
+								errs[g] = errors.New("wrong Into result under contention")
+								return
+							}
+						} else {
+							tk, err := s.SubmitSparseMatVec(tr, x, nil, core.EngineCompiled)
+							for errors.Is(err, ErrSaturated) {
+								tk, err = s.SubmitSparseMatVec(tr, x, nil, core.EngineCompiled)
+							}
+							if err != nil {
+								errs[g] = err
+								return
+							}
+							res, err := tk.Wait()
+							if err != nil {
+								errs[g] = err
+								return
+							}
+							if !reflect.DeepEqual(res, serial) {
+								errs[g] = errors.New("full ticket differs from serial solve")
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Fatalf("shards=%d policy=%v goroutine %d: %v", shards, pol, g, err)
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+// TestSparseStreamZeroAlloc pins the sparse stream acceptance criterion:
+// once the pattern-affinity shard is warm, a compiled sparse Into job —
+// submit, execute, redeem — allocates nothing.
+func TestSparseStreamZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	w := 4
+	a := sparseStencil(6, w)
+	tr := sparse.NewMatVec(a, w)
+	x := make(matrix.Vector, a.Cols())
+	for i := range x {
+		x[i] = float64(i)
+	}
+	dst := make(matrix.Vector, tr.N)
+	roundTrip := func() {
+		tk, err := s.SubmitSparseMatVecInto(dst, tr, x, nil, core.EngineCompiled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm every shard on the pattern (stealing can land early jobs
+	// anywhere) before the measured steady state.
+	for i := 0; i < 32; i++ {
+		roundTrip()
+	}
+	if allocs := testing.AllocsPerRun(50, roundTrip); allocs != 0 {
+		t.Errorf("steady-state sparse stream job allocates %v objects/op, want 0", allocs)
+	}
+	if !dst.Equal(a.MulVec(x, nil), 0) {
+		t.Error("warm sparse stream produced a wrong result")
 	}
 }
 

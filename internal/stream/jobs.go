@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/sparse"
 )
 
 // jobKind discriminates the workloads a shard can run.
@@ -15,6 +16,8 @@ const (
 	matmulFull
 	matvecPass
 	matmulPass
+	sparseFull
+	sparsePass
 )
 
 // job is one unit of stream work: inputs, the completion signal and the
@@ -33,6 +36,9 @@ type job struct {
 	x, b             matrix.Vector
 	mdst, ma, mb, me *matrix.Dense
 
+	// Sparse inputs (both variants; Into jobs reuse dst/x/b above).
+	sp *sparse.MatVec
+
 	// Full-result inputs.
 	mvp core.MatVecProblem
 	mmp core.MatMulProblem
@@ -41,6 +47,7 @@ type job struct {
 	steps int
 	mvres *core.MatVecResult
 	mmres *core.MatMulResult
+	spres *sparse.Result
 	err   error
 
 	// done carries exactly one completion signal per submission; the
@@ -49,10 +56,12 @@ type job struct {
 }
 
 // RunPass executes the job on the running shard's arena and signals the
-// ticket. Full jobs go through the same core solvers a serial caller would
-// use (global plan cache, fresh result); pass jobs replay through the
-// shard arena's plan memo and write into the caller's buffer, allocating
-// nothing once the shard is warm on that shape.
+// ticket. Full matvec/matmul jobs go through the same core solvers a
+// serial caller would use (global plan cache, fresh result); sparse full
+// jobs resolve their pattern-keyed plan through the shard arena's memo
+// (fresh result, plans identical to the serial ones); pass jobs replay
+// through the arena's memo and write into the caller's buffer, allocating
+// nothing once the shard is warm on that shape or pattern.
 func (j *job) RunPass(_ int, ar *core.Arena) {
 	switch j.kind {
 	case matvecFull:
@@ -63,6 +72,10 @@ func (j *job) RunPass(_ int, ar *core.Arena) {
 		j.steps, j.err = ar.MatVecPass(j.dst, j.a, j.x, j.b, j.w, j.eng)
 	case matmulPass:
 		j.steps, j.err = ar.MatMulPass(j.mdst, j.ma, j.mb, j.me, j.w, j.eng)
+	case sparseFull:
+		j.spres, j.err = j.sp.SolveEngineOn(ar, j.x, j.b, j.eng)
+	case sparsePass:
+		j.steps, j.err = j.sp.PassInto(ar, j.dst, j.x, j.b, j.eng)
 	}
 	j.s.completed.Add(1)
 	j.done <- struct{}{}
@@ -92,6 +105,20 @@ func (t MatMulTicket) Wait() (*core.MatMulResult, error) {
 	j := t.j
 	<-j.done
 	res, err := j.mmres, j.err
+	j.s.release(j)
+	return res, err
+}
+
+// SparseTicket is the one-shot future of a SubmitSparseMatVec job.
+type SparseTicket struct{ j *job }
+
+// Wait blocks until the job finishes and returns its result — exactly what
+// the serial sparse.MatVec.SolveEngine would return, statistics included.
+// See MatVecTicket.Wait for the redemption rules.
+func (t SparseTicket) Wait() (*sparse.Result, error) {
+	j := t.j
+	<-j.done
+	res, err := j.spres, j.err
 	j.s.release(j)
 	return res, err
 }
@@ -134,6 +161,43 @@ func (s *Scheduler) SubmitMatMul(w int, p core.MatMulProblem) (MatMulTicket, err
 		return MatMulTicket{}, err
 	}
 	return MatMulTicket{j}, nil
+}
+
+// SubmitSparseMatVec enqueues one sparse y = A·x + b problem (paper §4,
+// b may be nil) on the selected engine and returns its ticket. Jobs are
+// routed by pattern affinity — same retained-block pattern, same shard —
+// so a repeating sparsity pattern (a stencil, say) replays the shard's
+// memoized plan. The transformation and inputs must stay untouched until
+// the ticket is redeemed.
+func (s *Scheduler) SubmitSparseMatVec(t *sparse.MatVec, x, b matrix.Vector, eng core.Engine) (SparseTicket, error) {
+	j := s.get()
+	j.kind, j.eng, j.sp = sparseFull, eng, t
+	j.x, j.b = x, b
+	k := t.Key()
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), sparseFull, int(k.Digest), k.W, k.NBar, k.MBar)); err != nil {
+		return SparseTicket{}, err
+	}
+	return SparseTicket{j}, nil
+}
+
+// SubmitSparseMatVecInto enqueues one sparse y = A·x + b pass (b may be
+// nil) writing into dst (len = A.Rows(), which must not alias x or b) on
+// the selected engine — the zero-allocation sparse stream path: once the
+// pattern-affinity shard is warm on the pattern, submit and execution
+// allocate nothing. The transformation, inputs and dst must stay untouched
+// until the ticket is redeemed.
+func (s *Scheduler) SubmitSparseMatVecInto(dst matrix.Vector, t *sparse.MatVec, x, b matrix.Vector, eng core.Engine) (PassTicket, error) {
+	if len(dst) != t.N {
+		return PassTicket{}, fmt.Errorf("stream: dst len %d, want %d", len(dst), t.N)
+	}
+	j := s.get()
+	j.kind, j.eng, j.sp = sparsePass, eng, t
+	j.dst, j.x, j.b = dst, x, b
+	k := t.Key()
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), sparsePass, int(k.Digest), k.W, k.NBar, k.MBar)); err != nil {
+		return PassTicket{}, err
+	}
+	return PassTicket{j}, nil
 }
 
 // SubmitMatVecInto enqueues one y = A·x + b pass (b may be nil) writing

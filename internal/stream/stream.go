@@ -12,7 +12,10 @@
 // whose private schedule.PlanMemo (inside its core.Arena) already holds the
 // compiled plan, so the steady state of a repeating-shape stream replays
 // plans without touching the global caches — and, on the Into job variants,
-// without allocating at all. Idle shards steal from sibling queues, so
+// without allocating at all. Sparse jobs extend the same idea to data: they
+// route by pattern affinity (shape plus the retained-block pattern digest,
+// sparse.PatternKey), so a repeating sparsity pattern replays its shard's
+// memoized pattern-keyed plan. Idle shards steal from sibling queues, so
 // affinity is a locality heuristic, never a load-balance hazard.
 //
 // Admission is controlled per scheduler: every shard queue is bounded, and
@@ -193,8 +196,9 @@ func (s *Scheduler) get() *job { return s.jobs.Get().(*job) }
 func (s *Scheduler) release(j *job) {
 	j.dst, j.a, j.x, j.b = nil, nil, nil, nil
 	j.mdst, j.ma, j.mb, j.me = nil, nil, nil, nil
+	j.sp = nil
 	j.mvp, j.mmp = core.MatVecProblem{}, core.MatMulProblem{}
-	j.mvres, j.mmres = nil, nil
+	j.mvres, j.mmres, j.spres = nil, nil, nil
 	j.steps, j.err = 0, nil
 	s.jobs.Put(j)
 }

@@ -8,13 +8,15 @@
 // The library lives under internal/: matrix and blockpart are the algebra
 // substrate, dbt holds the transformations, linear and hex are
 // cycle-accurate structural array simulators (the verification oracle),
-// schedule the compiled-schedule fast engine (shape-cached event plans
-// executed in O(MACs), bit-identical to the oracle), analysis the paper's
+// schedule the compiled-schedule fast engine (cached event plans executed
+// in O(MACs), bit-identical to the oracle — shape-keyed for the dense
+// workloads, pattern-keyed for the §4 sparse matvec), analysis the paper's
 // closed forms, baseline/sparse/solve the comparison points and §4
 // extensions, core the public solver facade with engine selection and the
 // SolveBatch worker-pool API, and stream the sharded stream-scheduler
 // runtime that keeps a persistent fleet of simulated arrays busy across a
-// continuous problem stream (NewStream below is its entry point). See
+// continuous problem stream (NewStream below is its entry point), routing
+// jobs by shape — and, for sparse jobs, sparsity-pattern — affinity. See
 // DESIGN.md for the system inventory and two-engine architecture and
 // EXPERIMENTS.md for paper-vs-measured results; the benchmarks in
 // bench_test.go regenerate every experiment's headline metrics.
