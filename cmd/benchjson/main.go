@@ -442,6 +442,25 @@ func main() {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		}))
+		// Scheduler counter snapshot after the rows above: the stream
+		// robustness telemetry (admission/failure counters) recorded
+		// alongside the perf numbers. Informational — benchdiff's ns/op
+		// and allocs gates skip zero-ns rows.
+		st := s.Stats()
+		statMetrics := map[string]float64{
+			"submitted": float64(st.Submitted),
+			"completed": float64(st.Completed),
+			"shed":      float64(st.Shed),
+			"expired":   float64(st.Expired),
+			"panics":    float64(st.Panics),
+		}
+		for k, v := range metrics {
+			statMetrics[k] = v
+		}
+		entries = append(entries, Entry{
+			Name:    fmt.Sprintf("stream-stats/%s", name),
+			Metrics: statMetrics,
+		})
 	}
 	for _, shards := range core.PassWorkerLadder(runtime.GOMAXPROCS(0)) {
 		name := fmt.Sprintf("shards=%d", shards)

@@ -25,8 +25,16 @@ import (
 
 // strictPackages are the packages whose every exported identifier must
 // carry a doc comment (the public surface of the two-engine architecture,
-// the stream-scheduler runtime, and the pattern-keyed sparse path).
-var strictPackages = map[string]bool{"core": true, "schedule": true, "stream": true, "sparse": true}
+// the stream-scheduler runtime, the pattern-keyed sparse path, and the
+// direct solvers with their typed failure surface).
+var strictPackages = map[string]bool{
+	"core":     true,
+	"schedule": true,
+	"stream":   true,
+	"sparse":   true,
+	"solve":    true,
+	"trisolve": true,
+}
 
 // markdownFiles are the top-level documents whose relative links must
 // resolve.

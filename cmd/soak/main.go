@@ -17,24 +17,32 @@
 // intra-solve pass executor (independent passes fanned across simulated
 // arrays), requiring results and stats bit-identical to the serial runs;
 // the batch category additionally fans problems across the worker fleet
-// and checks it against serial solves; and the stream category drives a
+// and checks it against serial solves; the stream category drives a
 // sustained mixed-shape problem stream through the sharded stream
 // scheduler at random shard counts — the cross-runtime differential:
 // every ticket (matvec, matmul and pattern-routed sparse, full and Into
 // variants) must redeem to exactly what a serial solve of the same problem
-// returns, stats included. Exits non-zero on the first mismatch.
+// returns, stats included; and the chaos category re-runs the stream
+// differential under a seeded fault injector (forced sheds, delays, job
+// panics) with mixed priorities and deadlines — every fault must surface
+// as its typed error (ErrSaturated, stream.ErrDeadlineExceeded,
+// core.ErrPanicked with a stack), every non-faulted ticket must still
+// redeem to the serial result, and the scheduler's counters must add up.
+// Exits non-zero on the first mismatch.
 //
 // Usage:
 //
-//	soak -n 200 -seed 7 -maxw 5
+//	soak -n 200 -seed 7 -maxw 5 [-only chaos]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"reflect"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
@@ -54,6 +62,7 @@ func main() {
 	n := flag.Int("n", 100, "random cases per category")
 	seed := flag.Int64("seed", 1, "random seed")
 	maxw := flag.Int("maxw", 5, "largest array size to draw")
+	flag.StringVar(&only, "only", "", "run a single category (empty = all)")
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -68,6 +77,7 @@ func main() {
 	run("solvers", *n/5, func() { solverCase(rng, *maxw) })
 	run("batch", *n/10, func() { batchCase(rng, *maxw) })
 	run("stream", *n/10, func() { streamCase(rng, *maxw) })
+	run("chaos", *n/10, func() { chaosCase(rng, *maxw) })
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "soak: %d failures\n", failures)
@@ -76,7 +86,16 @@ func main() {
 	fmt.Println("soak: all categories clean")
 }
 
+// only, when set by the -only flag, restricts the run to one category.
+var only string
+
 func run(name string, n int, f func()) {
+	if only != "" && only != name {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
 	for i := 0; i < n; i++ {
 		f()
 	}
@@ -569,5 +588,102 @@ func streamCase(rng *rand.Rand, maxw int) {
 		if !reflect.DeepEqual(sb, cb) {
 			fail("stream batch differs from core batch (w=%d shards=%d)", w, shards)
 		}
+	}
+}
+
+// chaosCase is the fault-injection differential: a mixed matvec stream
+// with deterministic injected sheds, delays and panics, plus mixed
+// priorities and (generous) deadlines. Every submission either succeeds or
+// fails with a typed error; every redeemed ticket either carries a typed
+// fault or a result bit-identical to the serial solve; and the scheduler's
+// counters must account for every job.
+func chaosCase(rng *rand.Rand, maxw int) {
+	w := 1 + rng.Intn(maxw)
+	shards := 1 + rng.Intn(4)
+	inj := &stream.Injector{
+		Seed:       rng.Int63(),
+		ShedEvery:  5 + rng.Intn(5),
+		PanicEvery: 5 + rng.Intn(5),
+		DelayEvery: 6,
+		Delay:      50 * time.Microsecond,
+	}
+	s := stream.New(stream.Config{Shards: shards, Injector: inj})
+	defer s.Close()
+
+	count := 12 + rng.Intn(12)
+	problems := make([]core.MatVecProblem, 0, count)
+	tickets := make([]stream.MatVecTicket, 0, count)
+	var sheds, accepted int
+	for i := 0; i < count; i++ {
+		n, m := 1+rng.Intn(3*w), 1+rng.Intn(3*w)
+		p := core.MatVecProblem{
+			A: matrix.RandomDense(rng, n, m, 5),
+			X: matrix.RandomVector(rng, m, 5),
+			B: matrix.RandomVector(rng, n, 5),
+		}
+		q := stream.QoS{}
+		if i%3 == 0 {
+			q.Priority = stream.Low
+		}
+		if i%2 == 0 {
+			q.Deadline = time.Now().Add(time.Hour) // live, never binding
+		}
+		tk, err := s.SubmitMatVecQoS(w, p, q)
+		if err != nil {
+			if !errors.Is(err, stream.ErrSaturated) && !errors.Is(err, stream.ErrDeadlineExceeded) {
+				fail("chaos submit %d failed with untyped error: %v", i, err)
+				return
+			}
+			sheds++
+			continue
+		}
+		accepted++
+		problems, tickets = append(problems, p), append(tickets, tk)
+	}
+
+	var panics int
+	for i, tk := range tickets {
+		got, err := tk.Wait()
+		if err != nil {
+			var perr *core.PanicError
+			switch {
+			case errors.As(err, &perr):
+				if !errors.Is(err, core.ErrPanicked) || len(perr.Stack) == 0 {
+					fail("chaos job %d panic error lacks sentinel or stack: %v", i, err)
+					return
+				}
+				panics++
+			case errors.Is(err, stream.ErrDeadlineExceeded):
+				// Possible only under extreme scheduler starvation; the
+				// typed error is the contract either way.
+			default:
+				fail("chaos job %d failed with untyped error: %v", i, err)
+				return
+			}
+			continue
+		}
+		want, err := core.NewMatVecSolver(w).Solve(problems[i].A, problems[i].X, problems[i].B, problems[i].Opts)
+		if err != nil {
+			fail("chaos serial check %d: %v", i, err)
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			fail("chaos job %d differs from serial (w=%d shards=%d seed=%d)", i, w, shards, inj.Seed)
+			return
+		}
+	}
+
+	st := s.Stats()
+	if st.Submitted != uint64(accepted) || st.Completed != st.Submitted {
+		fail("chaos stats %+v: %d accepted jobs must all complete", st, accepted)
+	}
+	if st.Shed != uint64(sheds) {
+		fail("chaos stats %+v: observed %d admission sheds", st, sheds)
+	}
+	if st.Panics != uint64(panics) {
+		fail("chaos stats %+v: observed %d panicked tickets", st, panics)
+	}
+	if st.ShedHigh+st.ShedLow != st.Shed {
+		fail("chaos stats %+v: per-priority sheds do not sum", st)
 	}
 }

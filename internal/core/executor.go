@@ -20,10 +20,11 @@ import (
 // stats are bit-identical at every worker count, including the serial
 // (nil-executor) path.
 type Executor struct {
-	fleet *Fleet
-	owned bool
-	tasks sync.WaitGroup // in-flight tasks, for Barrier
-	next  atomic.Uint64  // round-robin submission cursor
+	fleet    *Fleet
+	owned    bool
+	tasks    sync.WaitGroup // in-flight tasks, for Barrier
+	next     atomic.Uint64  // round-robin submission cursor
+	panicked atomic.Pointer[PanicError]
 }
 
 // NewExecutor starts an executor over a private fleet with the given number
@@ -54,12 +55,28 @@ type execPass struct {
 // execPassPool recycles wrappers across Submits.
 var execPassPool = sync.Pool{New: func() interface{} { return &execPass{} }}
 
-// RunPass runs the task, recycles the wrapper and retires the barrier slot.
+// RunPass runs the task, then recycles the wrapper and retires the
+// barrier slot.
 func (p *execPass) RunPass(worker int, ar *Arena) {
-	e, fn := p.e, p.fn
+	p.fn(worker, ar)
+	p.retire()
+}
+
+// JobPanicked implements PanicCarrier for intra-solve passes: the fleet
+// shard that recovered the panic stays alive, the panic is parked on the
+// executor, and Barrier re-raises it on the goroutine that submitted the
+// step — where the solver's caller can actually see it — instead of
+// letting a half-updated factorization masquerade as a result.
+func (p *execPass) JobPanicked(err *PanicError) {
+	p.e.panicked.CompareAndSwap(nil, err)
+	p.retire()
+}
+
+// retire recycles the wrapper and retires the barrier slot.
+func (p *execPass) retire() {
+	e := p.e
 	p.e, p.fn = nil, nil
 	execPassPool.Put(p)
-	fn(worker, ar)
 	e.tasks.Done()
 }
 
@@ -87,7 +104,15 @@ func (e *Executor) Submit(task func(worker int, ar *Arena)) {
 // Barrier blocks until every task submitted so far has finished. It is the
 // per-step synchronization point of the blocked solvers; the same
 // goroutine that Submits must call Barrier (Submit must not race with it).
-func (e *Executor) Barrier() { e.tasks.Wait() }
+// If a task panicked since the last Barrier, the recovered *PanicError is
+// re-raised here, on the submitting goroutine — the fleet shard that ran
+// the task has already recovered and keeps serving.
+func (e *Executor) Barrier() {
+	e.tasks.Wait()
+	if err := e.panicked.Swap(nil); err != nil {
+		panic(err)
+	}
+}
 
 // Close waits for this executor's in-flight tasks and, when the executor
 // owns its fleet, stops it. The executor must not be used afterwards.

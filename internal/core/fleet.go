@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -35,6 +36,7 @@ type Fleet struct {
 	done   sync.WaitGroup // shard goroutines, for Close
 	tasks  sync.WaitGroup // in-flight passes, for Flush
 	closed atomic.Bool
+	panics atomic.Uint64 // recovered pass panics, for Panics
 }
 
 // Pass is one unit of fleet work: it runs on some shard's goroutine with
@@ -52,6 +54,44 @@ func (f PassFunc) RunPass(worker int, ar *Arena) { f(worker, ar) }
 // ErrClosed is returned by submissions to a fleet (or a scheduler built on
 // one) after Close.
 var ErrClosed = errors.New("core: runtime is closed")
+
+// ErrPanicked is the sentinel matched by errors.Is for any job panic a
+// fleet shard recovered; the concrete error is always a *PanicError.
+var ErrPanicked = errors.New("core: job panicked")
+
+// PanicError is the structured error a recovered job panic resolves to:
+// the value passed to panic plus the panicking goroutine's stack captured
+// at recovery. A shard that recovers a panic keeps serving — one poisoned
+// job can never take a worker down — and the panic travels to whoever
+// waits on the job (a stream ticket, a batch error slot, an executor
+// barrier) instead of crashing the process. errors.Is matches
+// ErrPanicked; errors.As extracts the value and stack.
+type PanicError struct {
+	// Value is the value the job passed to panic (or the runtime error
+	// that raised it).
+	Value interface{}
+	// Stack is the panicking goroutine's stack at the recovery point.
+	Stack []byte
+}
+
+// Error formats the recovered panic value.
+func (e *PanicError) Error() string { return fmt.Sprintf("core: job panicked: %v", e.Value) }
+
+// Unwrap lets errors.Is(err, ErrPanicked) match every recovered panic.
+func (e *PanicError) Unwrap() error { return ErrPanicked }
+
+// PanicCarrier is implemented by passes that can absorb a panic raised
+// while they ran: the fleet recovers the panic, wraps it in a PanicError
+// and hands it to the pass, which must resolve its own completion signal
+// (ticket, barrier slot) with the structured error — and must not panic
+// itself. Passes that do not implement it still cannot kill a shard; the
+// fleet counts the recovered panic (Panics) and drops it.
+type PanicCarrier interface {
+	Pass
+	// JobPanicked is called on the shard goroutine, after the pass's
+	// stack has unwound, with the recovered panic.
+	JobPanicked(*PanicError)
+}
 
 // DefaultQueueBound is the per-shard queue capacity when a caller does not
 // set one.
@@ -85,6 +125,15 @@ func NewFleet(shards, queueBound int) *Fleet {
 
 // Shards returns the number of shards.
 func (f *Fleet) Shards() int { return len(f.queues) }
+
+// QueueLen reports how many passes sit queued (not yet started) on a
+// shard — the depth latency-aware admission multiplies by the shard's
+// measured service time to predict queueing delay.
+func (f *Fleet) QueueLen(shard int) int { return len(f.queues[shard]) }
+
+// Panics returns the number of pass panics the fleet has recovered since
+// it started. Every recovery leaves the shard serving.
+func (f *Fleet) Panics() uint64 { return f.panics.Load() }
 
 // SubmitTo enqueues one pass on the given shard, blocking while that
 // shard's queue is full (the shard itself — or a stealing sibling — always
@@ -195,17 +244,31 @@ func (f *Fleet) steal(self int, ar *Arena) bool {
 	return false
 }
 
-// run executes one pass on this shard's arena and retires it.
+// run executes one pass on this shard's arena and retires it. A panic
+// raised by the pass is recovered here — the shard goroutine survives and
+// keeps draining its queue — counted, and handed to the pass when it is a
+// PanicCarrier so the waiter sees a structured *PanicError instead of a
+// dead runtime.
 func (f *Fleet) run(p Pass, worker int, ar *Arena) {
+	defer func() {
+		if v := recover(); v != nil {
+			f.panics.Add(1)
+			if c, ok := p.(PanicCarrier); ok {
+				c.JobPanicked(&PanicError{Value: v, Stack: debug.Stack()})
+			}
+		}
+		f.tasks.Done()
+	}()
 	ar.Reset()
 	p.RunPass(worker, ar)
-	f.tasks.Done()
 }
 
 // BatchOn fans items across an existing fleet (one pass per item, routed
 // round-robin) and waits for all of them; see Batch for the result and
 // error contract. It lets a batch share a persistent fleet — the stream
-// scheduler's, typically — instead of paying for a transient pool.
+// scheduler's, typically — instead of paying for a transient pool. A
+// panicking solve is recovered into that item's error slot as a
+// *PanicError; siblings and the fleet keep running.
 func BatchOn[P, R any](f *Fleet, items []P, solve func(P) (R, error)) ([]R, error) {
 	results := make([]R, len(items))
 	errs := make([]error, len(items))
@@ -215,6 +278,11 @@ func BatchOn[P, R any](f *Fleet, items []P, solve func(P) (R, error)) ([]R, erro
 		wg.Add(1)
 		err := f.SubmitTo(i%f.Shards(), PassFunc(func(int, *Arena) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[i] = &PanicError{Value: v, Stack: debug.Stack()}
+				}
+			}()
 			results[i], errs[i] = solve(items[i])
 		}))
 		if err != nil {

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -181,8 +182,12 @@ func TestSolveBatchMatchesSerial(t *testing.T) {
 	// siblings still return.
 	bad := Problem{A: matrix.NewDense(2, 2), D: make(matrix.Vector, 2)}
 	res, err := SolveBatch([]Problem{problems[0], bad}, w, 2)
-	if err == nil {
-		t.Fatal("want error for the singular problem")
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	var serr *SingularError
+	if !errors.As(err, &serr) || serr.Index != 0 {
+		t.Fatalf("err = %#v, want a *SingularError at pivot 0", err)
 	}
 	if res[0] == nil || res[1] != nil {
 		t.Fatalf("batch error handling: res[0]=%v res[1]=%v", res[0], res[1])

@@ -61,7 +61,7 @@ func LowerTriangularInverse(lo *matrix.Dense, w int, opts Options) (*matrix.Dens
 		lo0, hi0 := blockBounds(b, w, n)
 		for c := lo0; c < hi0; c++ {
 			if lo.At(c, c) == 0 {
-				return nil, nil, fmt.Errorf("solve: singular diagonal at %d", c)
+				return nil, nil, &SingularError{Op: "solve.LowerTriangularInverse", Index: c}
 			}
 			x.Set(c, c, 1/lo.At(c, c))
 			stats.HostOps++

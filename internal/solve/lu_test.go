@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -86,8 +87,13 @@ func TestLowerTriangularInverse(t *testing.T) {
 func TestLowerTriangularInverseSingular(t *testing.T) {
 	lo := matrix.NewDense(2, 2)
 	lo.Set(1, 0, 1) // zero diagonal
-	if _, _, err := LowerTriangularInverse(lo, 2, Options{}); err == nil {
-		t.Error("expected singularity error")
+	_, _, err := LowerTriangularInverse(lo, 2, Options{})
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	var serr *SingularError
+	if !errors.As(err, &serr) || serr.Index != 0 {
+		t.Errorf("err = %#v, want a *SingularError at pivot 0", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -180,8 +181,13 @@ func TestParallelErrorPropagation(t *testing.T) {
 	ex := core.NewExecutor(2)
 	defer ex.Close()
 	singular := matrix.NewDense(4, 4) // all zeros: pivot fails immediately
-	if _, _, _, err := BlockLU(singular, 2, Options{Executor: ex}); err == nil {
-		t.Fatal("want zero-pivot error")
+	_, _, _, err := BlockLU(singular, 2, Options{Executor: ex})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	var serr *SingularError
+	if !errors.As(err, &serr) || serr.Index != 0 {
+		t.Fatalf("err = %#v, want a *SingularError at pivot 0", err)
 	}
 	// The executor survives and still runs healthy work.
 	rng := rand.New(rand.NewSource(404))

@@ -158,7 +158,7 @@ func LowerTriangularSolve(l *matrix.Dense, d matrix.Vector, w int, opts Options)
 	}
 	for i := 0; i < n; i++ {
 		if l.At(i, i) == 0 {
-			return nil, nil, fmt.Errorf("solve: singular diagonal at %d", i)
+			return nil, nil, &SingularError{Op: "solve.LowerTriangularSolve", Index: i}
 		}
 		for j := i + 1; j < n; j++ {
 			if l.At(i, j) != 0 {

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -129,7 +130,12 @@ func TestSolveValidation(t *testing.T) {
 		t.Error("expected not-lower-triangular error")
 	}
 	sing := matrix.FromRows([][]float64{{1, 0}, {1, 0}})
-	if _, _, err := LowerTriangularSolve(sing, make(matrix.Vector, 2), 2, Options{}); err == nil {
-		t.Error("expected singular error")
+	_, _, err := LowerTriangularSolve(sing, make(matrix.Vector, 2), 2, Options{})
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	var serr *SingularError
+	if !errors.As(err, &serr) || serr.Index != 1 {
+		t.Errorf("err = %#v, want a *SingularError at pivot 1", err)
 	}
 }

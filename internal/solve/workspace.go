@@ -99,7 +99,7 @@ func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense,
 					uf.Set(i, j, s)
 				} else {
 					if uf.At(j, j) == 0 {
-						return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
+						return nil, nil, nil, &SingularError{Op: "solve.BlockLU", Index: j}
 					}
 					lf.Set(i, j, s/uf.At(j, j))
 					stats.HostOps++
@@ -120,7 +120,7 @@ func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense,
 					stats.HostOps += 2
 				}
 				if uf.At(j, j) == 0 {
-					return nil, nil, nil, fmt.Errorf("solve: zero pivot at %d", j)
+					return nil, nil, nil, &SingularError{Op: "solve.BlockLU", Index: j}
 				}
 				lf.Set(i, j, s/uf.At(j, j))
 				stats.HostOps++

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+)
+
+// Injector induces deterministic faults in a scheduler for chaos testing:
+// forced admission sheds, execution delays, forced job panics and a
+// stalled shard. Every decision is a pure function of (Seed, the job's
+// sequence number, a per-fault salt), so a run with the same seed and the
+// same submission order fails the same jobs — the soak harness's chaos
+// category replays faults bit-identically and asserts that every
+// non-faulted job still matches its serial solve.
+//
+// An Injector is attached through Config.Injector, is read-only once the
+// scheduler is running, and may be shared across schedulers. The zero
+// value injects nothing.
+type Injector struct {
+	// Seed keys the fault pattern; different seeds fail different jobs.
+	Seed int64
+	// ShedEvery, when > 0, rejects roughly one admission in ShedEvery with
+	// ErrSaturated before the job is enqueued (counted as shed).
+	ShedEvery int
+	// PanicEvery, when > 0, panics roughly one job in PanicEvery at the
+	// start of its execution; the fleet recovers it into the job's
+	// *core.PanicError and the shard keeps serving.
+	PanicEvery int
+	// DelayEvery, when > 0, sleeps Delay at the start of roughly one job
+	// execution in DelayEvery — latency noise for deadline tests.
+	DelayEvery int
+	// Delay is the sleep injected by DelayEvery.
+	Delay time.Duration
+	// StallShard, with StallDelay > 0, names one shard whose every job is
+	// slowed by StallDelay — a degraded array for testing predicted-wait
+	// shedding and work stealing.
+	StallShard int
+	// StallDelay is the per-job slowdown of StallShard (0 disables the
+	// stall).
+	StallDelay time.Duration
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash used
+// to turn (seed, sequence, salt) into an independent fault draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hits reports whether the fault salted with salt fires for job seq at
+// rate 1/every.
+func (in *Injector) hits(seq uint64, salt uint64, every int) bool {
+	if every <= 0 {
+		return false
+	}
+	return splitmix64(uint64(in.Seed)^seq^salt)%uint64(every) == 0
+}
+
+// admission runs the admission-time faults for job seq: a forced shed
+// returns ErrSaturated (the same error real saturation produces, so caller
+// retry logic is exercised), nil admits the job.
+func (in *Injector) admission(seq uint64) error {
+	if in.hits(seq, 0xADD1551, in.ShedEvery) {
+		return ErrSaturated
+	}
+	return nil
+}
+
+// perturb runs the execution-time faults for job seq on the running
+// shard: the stalled-shard slowdown, the random delay, then — last, so
+// the delays still land — the forced panic. The panic value names the
+// seed and job so a recovered *core.PanicError is traceable to the
+// injection that caused it.
+func (in *Injector) perturb(shard int, seq uint64) {
+	if in.StallDelay > 0 && shard == in.StallShard {
+		time.Sleep(in.StallDelay)
+	}
+	if in.hits(seq, 0xDE1A7, in.DelayEvery) && in.Delay > 0 {
+		time.Sleep(in.Delay)
+	}
+	if in.hits(seq, 0xBADC0DE, in.PanicEvery) {
+		panic(fmt.Sprintf("stream: injected panic (seed %d, job %d)", in.Seed, seq))
+	}
+}

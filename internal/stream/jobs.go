@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -30,6 +31,11 @@ type job struct {
 	w    int
 	eng  core.Engine
 
+	// Admission state: sequence number (injector determinism), QoS.
+	seq      uint64
+	deadline time.Time
+	prio     Priority
+
 	// Pass-style inputs (Into jobs; results land in caller-owned dst).
 	dst              matrix.Vector
 	a                *matrix.Dense
@@ -56,13 +62,29 @@ type job struct {
 }
 
 // RunPass executes the job on the running shard's arena and signals the
-// ticket. Full matvec/matmul jobs go through the same core solvers a
-// serial caller would use (global plan cache, fresh result); sparse full
-// jobs resolve their pattern-keyed plan through the shard arena's memo
-// (fresh result, plans identical to the serial ones); pass jobs replay
-// through the arena's memo and write into the caller's buffer, allocating
-// nothing once the shard is warm on that shape or pattern.
-func (j *job) RunPass(_ int, ar *core.Arena) {
+// ticket. A job whose deadline already passed while it sat queued is
+// skipped — its ticket resolves to the typed expiry error, its caller
+// buffer stays untouched. Live jobs are timed and fold their service time
+// into the executing shard's EWMA, which admission multiplies by queue
+// depth to predict waits. Full matvec/matmul jobs go through the same
+// core solvers a serial caller would use (global plan cache, fresh
+// result); sparse full jobs resolve their pattern-keyed plan through the
+// shard arena's memo (fresh result, plans identical to the serial ones);
+// pass jobs replay through the arena's memo and write into the caller's
+// buffer, allocating nothing once the shard is warm on that shape or
+// pattern.
+func (j *job) RunPass(worker int, ar *core.Arena) {
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		j.err = &DeadlineError{Expired: true}
+		j.s.expired.Add(1)
+		j.s.completed.Add(1)
+		j.done <- struct{}{}
+		return
+	}
+	start := time.Now()
+	if in := j.s.inject; in != nil {
+		in.perturb(worker, j.seq)
+	}
 	switch j.kind {
 	case matvecFull:
 		j.mvres, j.err = core.NewMatVecSolver(j.w).Solve(j.mvp.A, j.mvp.X, j.mvp.B, j.mvp.Opts)
@@ -77,6 +99,18 @@ func (j *job) RunPass(_ int, ar *core.Arena) {
 	case sparsePass:
 		j.steps, j.err = j.sp.PassInto(ar, j.dst, j.x, j.b, j.eng)
 	}
+	j.s.observe(worker, time.Since(start))
+	j.s.completed.Add(1)
+	j.done <- struct{}{}
+}
+
+// JobPanicked implements core.PanicCarrier: a panic the fleet recovered
+// from this job resolves the ticket with the structured *core.PanicError
+// (value + stack) and counts toward Stats.Panics. The shard that ran the
+// job keeps serving — one poisoned job can never take it down.
+func (j *job) JobPanicked(err *core.PanicError) {
+	j.err = err
+	j.s.panics.Add(1)
 	j.s.completed.Add(1)
 	j.done <- struct{}{}
 }
@@ -143,7 +177,13 @@ func (t PassTicket) Wait() (int, error) {
 // and returns its ticket. The problem's inputs must stay untouched until
 // the ticket is redeemed.
 func (s *Scheduler) SubmitMatVec(w int, p core.MatVecProblem) (MatVecTicket, error) {
-	j := s.get()
+	return s.SubmitMatVecQoS(w, p, QoS{})
+}
+
+// SubmitMatVecQoS is SubmitMatVec with a deadline and priority class
+// attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitMatVecQoS(w int, p core.MatVecProblem, q QoS) (MatVecTicket, error) {
+	j := s.get(q)
 	j.kind, j.w, j.mvp = matvecFull, w, p
 	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matvecFull, w, p.A.Rows(), p.A.Cols(), int(p.Opts.Engine))); err != nil {
 		return MatVecTicket{}, err
@@ -155,7 +195,13 @@ func (s *Scheduler) SubmitMatVec(w int, p core.MatVecProblem) (MatVecTicket, err
 // array and returns its ticket. The problem's inputs must stay untouched
 // until the ticket is redeemed.
 func (s *Scheduler) SubmitMatMul(w int, p core.MatMulProblem) (MatMulTicket, error) {
-	j := s.get()
+	return s.SubmitMatMulQoS(w, p, QoS{})
+}
+
+// SubmitMatMulQoS is SubmitMatMul with a deadline and priority class
+// attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitMatMulQoS(w int, p core.MatMulProblem, q QoS) (MatMulTicket, error) {
+	j := s.get(q)
 	j.kind, j.w, j.mmp = matmulFull, w, p
 	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matmulFull, w, p.A.Rows(), p.B.Cols(), p.A.Cols())); err != nil {
 		return MatMulTicket{}, err
@@ -170,7 +216,13 @@ func (s *Scheduler) SubmitMatMul(w int, p core.MatMulProblem) (MatMulTicket, err
 // memoized plan. The transformation and inputs must stay untouched until
 // the ticket is redeemed.
 func (s *Scheduler) SubmitSparseMatVec(t *sparse.MatVec, x, b matrix.Vector, eng core.Engine) (SparseTicket, error) {
-	j := s.get()
+	return s.SubmitSparseMatVecQoS(t, x, b, eng, QoS{})
+}
+
+// SubmitSparseMatVecQoS is SubmitSparseMatVec with a deadline and priority
+// class attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitSparseMatVecQoS(t *sparse.MatVec, x, b matrix.Vector, eng core.Engine, q QoS) (SparseTicket, error) {
+	j := s.get(q)
 	j.kind, j.eng, j.sp = sparseFull, eng, t
 	j.x, j.b = x, b
 	k := t.Key()
@@ -187,10 +239,16 @@ func (s *Scheduler) SubmitSparseMatVec(t *sparse.MatVec, x, b matrix.Vector, eng
 // allocate nothing. The transformation, inputs and dst must stay untouched
 // until the ticket is redeemed.
 func (s *Scheduler) SubmitSparseMatVecInto(dst matrix.Vector, t *sparse.MatVec, x, b matrix.Vector, eng core.Engine) (PassTicket, error) {
+	return s.SubmitSparseMatVecIntoQoS(dst, t, x, b, eng, QoS{})
+}
+
+// SubmitSparseMatVecIntoQoS is SubmitSparseMatVecInto with a deadline and
+// priority class attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitSparseMatVecIntoQoS(dst matrix.Vector, t *sparse.MatVec, x, b matrix.Vector, eng core.Engine, q QoS) (PassTicket, error) {
 	if len(dst) != t.N {
 		return PassTicket{}, fmt.Errorf("stream: dst len %d, want %d", len(dst), t.N)
 	}
-	j := s.get()
+	j := s.get(q)
 	j.kind, j.eng, j.sp = sparsePass, eng, t
 	j.dst, j.x, j.b = dst, x, b
 	k := t.Key()
@@ -206,10 +264,18 @@ func (s *Scheduler) SubmitSparseMatVecInto(dst matrix.Vector, t *sparse.MatVec, 
 // warm on the shape, submit and execution allocate nothing. Inputs and dst
 // must stay untouched until the ticket is redeemed.
 func (s *Scheduler) SubmitMatVecInto(dst matrix.Vector, a *matrix.Dense, x, b matrix.Vector, w int, eng core.Engine) (PassTicket, error) {
+	return s.SubmitMatVecIntoQoS(dst, a, x, b, w, eng, QoS{})
+}
+
+// SubmitMatVecIntoQoS is SubmitMatVecInto with a deadline and priority
+// class attached; see QoS for the admission semantics. The warm-shard
+// zero-allocation guarantee holds for QoS submissions too: deadlines ride
+// in the pooled job, so admission adds no allocations to the steady state.
+func (s *Scheduler) SubmitMatVecIntoQoS(dst matrix.Vector, a *matrix.Dense, x, b matrix.Vector, w int, eng core.Engine, q QoS) (PassTicket, error) {
 	if len(dst) != a.Rows() {
 		return PassTicket{}, fmt.Errorf("stream: dst len %d, want %d", len(dst), a.Rows())
 	}
-	j := s.get()
+	j := s.get(q)
 	j.kind, j.w, j.eng = matvecPass, w, eng
 	j.dst, j.a, j.x, j.b = dst, a, x, b
 	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matvecPass, w, a.Rows(), a.Cols(), int(eng))); err != nil {
@@ -223,10 +289,16 @@ func (s *Scheduler) SubmitMatVecInto(dst matrix.Vector, a *matrix.Dense, x, b ma
 // selected engine; allocation behavior matches SubmitMatVecInto. Inputs
 // and dst must stay untouched until the ticket is redeemed.
 func (s *Scheduler) SubmitMatMulInto(dst, a, b, e *matrix.Dense, w int, eng core.Engine) (PassTicket, error) {
+	return s.SubmitMatMulIntoQoS(dst, a, b, e, w, eng, QoS{})
+}
+
+// SubmitMatMulIntoQoS is SubmitMatMulInto with a deadline and priority
+// class attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitMatMulIntoQoS(dst, a, b, e *matrix.Dense, w int, eng core.Engine, q QoS) (PassTicket, error) {
 	if dst.Rows() != a.Rows() || dst.Cols() != b.Cols() {
 		return PassTicket{}, fmt.Errorf("stream: dst %d×%d, want %d×%d", dst.Rows(), dst.Cols(), a.Rows(), b.Cols())
 	}
-	j := s.get()
+	j := s.get(q)
 	j.kind, j.w, j.eng = matmulPass, w, eng
 	j.mdst, j.ma, j.mb, j.me = dst, a, b, e
 	if err := s.enqueue(j, shardOf(s.fleet.Shards(), matmulPass, w, a.Rows(), b.Cols(), a.Cols())); err != nil {

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -74,7 +75,8 @@ var ErrSaturated = errors.New("stream: every shard queue is full")
 var ErrClosed = core.ErrClosed
 
 // Config sizes a Scheduler. The zero value is ready to use: GOMAXPROCS
-// shards, the default queue bound, blocking admission.
+// shards, the default queue bound, blocking admission, no fault
+// injection.
 type Config struct {
 	// Shards is the number of simulated arrays (values < 1 mean GOMAXPROCS).
 	Shards int
@@ -83,6 +85,10 @@ type Config struct {
 	QueueBound int
 	// Policy selects the admission behavior when a queue is full.
 	Policy Policy
+	// Injector, when non-nil, induces deterministic faults (forced sheds,
+	// delays, panics, shard stalls) for chaos testing; nil — the default —
+	// costs one pointer check per job. See Injector.
+	Injector *Injector
 }
 
 // Scheduler is the persistent stream runtime; see the package comment for
@@ -91,23 +97,41 @@ type Config struct {
 type Scheduler struct {
 	fleet  *core.Fleet
 	policy Policy
+	inject *Injector
 	jobs   sync.Pool
 	closed atomic.Bool
+	seq    atomic.Uint64  // job sequence numbers, for the injector
+	ewma   []atomic.Int64 // per-shard service-time EWMA, nanoseconds
 
 	submitted atomic.Uint64
 	completed atomic.Uint64
-	shed      atomic.Uint64
+	shed      [2]atomic.Uint64 // per-Priority rejections
+	expired   atomic.Uint64
+	panics    atomic.Uint64
 }
 
-// Stats is a point-in-time snapshot of a scheduler's counters.
+// Stats is a point-in-time snapshot of a scheduler's admission and
+// failure counters.
 type Stats struct {
 	// Shards is the fleet size.
 	Shards int
-	// Submitted counts accepted jobs, Completed finished ones; the
-	// difference is the in-flight depth.
+	// Submitted counts accepted jobs, Completed finished ones (normally,
+	// by expiry, or by a recovered panic — every accepted job completes
+	// exactly once); the difference is the in-flight depth.
 	Submitted, Completed uint64
-	// Shed counts Submit calls rejected with ErrSaturated.
+	// Shed counts submissions rejected without being enqueued — queue
+	// saturation (ErrSaturated, injected or real) and predicted-wait
+	// deadline sheds (DeadlineError) — across both priorities.
 	Shed uint64
+	// ShedHigh and ShedLow break Shed down by admission class.
+	ShedHigh, ShedLow uint64
+	// Expired counts jobs whose deadline passed before they ran — at
+	// admission or while queued — each resolved with the typed expiry
+	// error, never a garbage result.
+	Expired uint64
+	// Panics counts job panics recovered into per-job errors; every one
+	// left its shard serving.
+	Panics uint64
 }
 
 // New starts a scheduler per cfg. Close it when done.
@@ -115,7 +139,9 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		fleet:  core.NewFleet(cfg.Shards, cfg.QueueBound),
 		policy: cfg.Policy,
+		inject: cfg.Injector,
 	}
+	s.ewma = make([]atomic.Int64, s.fleet.Shards())
 	s.jobs.New = func() interface{} { return &job{s: s, done: make(chan struct{}, 1)} }
 	return s
 }
@@ -125,11 +151,16 @@ func (s *Scheduler) Shards() int { return s.fleet.Shards() }
 
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
+	high, low := s.shed[High].Load(), s.shed[Low].Load()
 	return Stats{
 		Shards:    s.fleet.Shards(),
 		Submitted: s.submitted.Load(),
 		Completed: s.completed.Load(),
-		Shed:      s.shed.Load(),
+		Shed:      high + low,
+		ShedHigh:  high,
+		ShedLow:   low,
+		Expired:   s.expired.Load(),
+		Panics:    s.panics.Load(),
 	}
 }
 
@@ -187,8 +218,14 @@ func (s *Scheduler) MatMulBatch(w int, problems []core.MatMulProblem) ([]*core.M
 	})
 }
 
-// get draws a recycled job.
-func (s *Scheduler) get() *job { return s.jobs.Get().(*job) }
+// get draws a recycled job, stamps its sequence number and attaches its
+// QoS.
+func (s *Scheduler) get(q QoS) *job {
+	j := s.jobs.Get().(*job)
+	j.seq = s.seq.Add(1)
+	j.deadline, j.prio = q.Deadline, q.Priority
+	return j
+}
 
 // release scrubs a redeemed job and recycles it. Only Wait releases jobs —
 // a never-redeemed ticket's job is dropped to the garbage collector rather
@@ -200,17 +237,56 @@ func (s *Scheduler) release(j *job) {
 	j.mvp, j.mmp = core.MatVecProblem{}, core.MatMulProblem{}
 	j.mvres, j.mmres, j.spres = nil, nil, nil
 	j.steps, j.err = 0, nil
+	j.deadline, j.prio, j.seq = time.Time{}, High, 0
 	s.jobs.Put(j)
 }
 
 // enqueue routes one job to its affinity shard under the scheduler's
-// admission policy, reclaiming the job on every failure path.
+// admission policy and the job's QoS, reclaiming the job on every
+// failure path. Admission order: injected faults, deadline feasibility
+// (predicted wait vs. remaining slack, with deadline-aware rerouting to
+// the fastest shard when the affinity shard cannot make it), then the
+// policy/priority queue-space rules.
 func (s *Scheduler) enqueue(j *job, shard int) error {
 	if s.closed.Load() {
 		s.release(j)
 		return ErrClosed
 	}
-	if s.policy == Block {
+	if s.inject != nil {
+		if err := s.inject.admission(j.seq); err != nil {
+			s.shed[j.prio].Add(1)
+			s.release(j)
+			return err
+		}
+	}
+	if !j.deadline.IsZero() {
+		slack := time.Until(j.deadline)
+		if slack <= 0 {
+			s.expired.Add(1)
+			s.release(j)
+			return &DeadlineError{Expired: true}
+		}
+		if wait := s.predictedWait(shard); wait > slack {
+			// The affinity shard cannot make the deadline; take the
+			// fastest sibling if one can, otherwise shed now with the
+			// best prediction — failing in nanoseconds, not after the
+			// deadline has already passed.
+			best, bestShard := wait, shard
+			for d := 1; d < s.fleet.Shards(); d++ {
+				c := (shard + d) % s.fleet.Shards()
+				if wc := s.predictedWait(c); wc < best {
+					best, bestShard = wc, c
+				}
+			}
+			if best > slack {
+				s.shed[j.prio].Add(1)
+				s.release(j)
+				return &DeadlineError{PredictedWait: best}
+			}
+			shard = bestShard
+		}
+	}
+	if s.policy == Block && j.prio == High {
 		if err := s.fleet.SubmitTo(shard, j); err != nil {
 			s.release(j)
 			return err
@@ -218,8 +294,13 @@ func (s *Scheduler) enqueue(j *job, shard int) error {
 		s.submitted.Add(1)
 		return nil
 	}
-	// Shed: the affinity shard first, then every sibling, never blocking.
-	for d := 0; d < s.fleet.Shards(); d++ {
+	// Shed policy, or a Low job under either policy: never block. High
+	// scans every sibling; Low sheds at the first full queue.
+	span := s.fleet.Shards()
+	if j.prio == Low {
+		span = 1
+	}
+	for d := 0; d < span; d++ {
 		ok, err := s.fleet.TrySubmitTo((shard+d)%s.fleet.Shards(), j)
 		if err != nil {
 			s.release(j)
@@ -230,7 +311,7 @@ func (s *Scheduler) enqueue(j *job, shard int) error {
 			return nil
 		}
 	}
-	s.shed.Add(1)
+	s.shed[j.prio].Add(1)
 	s.release(j)
 	return ErrSaturated
 }

@@ -266,7 +266,7 @@ func (s *Solver) SolveLower(l *matrix.Dense, b matrix.Vector) (*DenseResult, err
 	}
 	for i := 0; i < n; i++ {
 		if l.At(i, i) == 0 {
-			return nil, fmt.Errorf("trisolve: singular diagonal at %d", i)
+			return nil, &SingularError{Op: "trisolve.SolveLower", Index: i}
 		}
 		for j := i + 1; j < n; j++ {
 			if l.At(i, j) != 0 {

@@ -1,6 +1,7 @@
 package trisolve
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -174,8 +175,13 @@ func TestSolverValidation(t *testing.T) {
 	if _, err := s.SolveLower(matrix.NewDense(2, 3), make(matrix.Vector, 2)); err == nil {
 		t.Error("expected non-square error")
 	}
-	if _, err := s.SolveLower(matrix.NewDense(2, 2), make(matrix.Vector, 2)); err == nil {
-		t.Error("expected singular error")
+	if _, err := s.SolveLower(matrix.NewDense(2, 2), make(matrix.Vector, 2)); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	} else {
+		var serr *SingularError
+		if !errors.As(err, &serr) || serr.Index != 0 {
+			t.Errorf("err = %#v, want a *SingularError at pivot 0", err)
+		}
 	}
 	notL := matrix.FromRows([][]float64{{1, 1}, {0, 1}})
 	if _, err := s.SolveLower(notL, make(matrix.Vector, 2)); err == nil {

@@ -1,0 +1,35 @@
+package trisolve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is the sentinel matched by errors.Is for every
+// singular-pivot failure across the direct-solver layers: trisolve's
+// diagonal checks here, and solve's BlockLU pivots and triangular
+// inverses (package solve re-exports this sentinel and SingularError, so
+// errors.Is(err, solve.ErrSingular) covers both layers no matter which
+// one detected the pivot).
+var ErrSingular = errors.New("singular matrix")
+
+// SingularError reports the exact pivot a direct solver found to be
+// zero. It is returned unchanged through every runtime layer — the
+// intra-solve executor fan-out, the batch API's joined per-index errors
+// and the stream scheduler's tickets — so errors.As extracts the pivot
+// index anywhere in a wrapped chain, and errors.Is matches ErrSingular.
+type SingularError struct {
+	// Op names the operation that hit the pivot, e.g. "solve.BlockLU"
+	// or "trisolve.SolveLower".
+	Op string
+	// Index is the global row/column index of the zero pivot.
+	Index int
+}
+
+// Error formats the failure with its operation and pivot index.
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("%s: singular pivot at %d", e.Op, e.Index)
+}
+
+// Unwrap lets errors.Is(err, ErrSingular) match.
+func (e *SingularError) Unwrap() error { return ErrSingular }

@@ -113,7 +113,7 @@ func (tw *Workspace) SolveLowerInto(dst matrix.Vector, l *matrix.Dense, b matrix
 	}
 	for i := 0; i < n; i++ {
 		if l.At(i, i) == 0 {
-			return stats, fmt.Errorf("trisolve: singular diagonal at %d", i)
+			return stats, &SingularError{Op: "trisolve.SolveLowerInto", Index: i}
 		}
 		for j := i + 1; j < n; j++ {
 			if l.At(i, j) != 0 {

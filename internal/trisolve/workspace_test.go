@@ -1,6 +1,7 @@
 package trisolve
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -155,8 +156,13 @@ func TestWorkspaceErrors(t *testing.T) {
 	if _, err := tw.SolveLowerInto(x, matrix.NewDense(2, 2), make(matrix.Vector, 3), core.EngineAuto); err == nil {
 		t.Error("expected length error")
 	}
-	if _, err := tw.SolveLowerInto(x, matrix.NewDense(2, 2), make(matrix.Vector, 2), core.EngineAuto); err == nil {
-		t.Error("expected singular error")
+	if _, err := tw.SolveLowerInto(x, matrix.NewDense(2, 2), make(matrix.Vector, 2), core.EngineAuto); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	} else {
+		var serr *SingularError
+		if !errors.As(err, &serr) || serr.Index != 0 {
+			t.Errorf("err = %#v, want a *SingularError at pivot 0", err)
+		}
 	}
 	notLower := matrix.FromRows([][]float64{{1, 5}, {0, 1}})
 	if _, err := tw.SolveLowerInto(x, notLower, make(matrix.Vector, 2), core.EngineAuto); err == nil {

@@ -45,6 +45,21 @@ const (
 	StreamShed  StreamPolicy = stream.Shed
 )
 
+// StreamStats is a point-in-time snapshot of a Stream's admission and
+// failure counters: submitted/completed depth, per-priority sheds,
+// deadline expiries and recovered panics.
+type StreamStats = stream.Stats
+
+// StreamQoS attaches a completion deadline and a priority class to the
+// SubmitXxxQoS submission variants; the zero value reproduces the plain
+// Submit* behavior (no deadline, High priority).
+type StreamQoS = stream.QoS
+
+// StreamInjector induces deterministic, seed-keyed faults (forced sheds,
+// delays, panics, a stalled shard) in a Stream for chaos testing; attach
+// one through StreamConfig.Injector.
+type StreamInjector = stream.Injector
+
 // NewStream starts a stream scheduler; Close it when done. Typical use:
 //
 //	s := repro.NewStream(repro.StreamConfig{Shards: 4})
