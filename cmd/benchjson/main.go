@@ -7,8 +7,10 @@
 // intra-solve parallel executor at worker counts {1, 2, NumCPU} (E14), the
 // stream scheduler at shard counts {1, 2, NumCPU} (E15: single-job round
 // trip at 0 allocs/op after warmup, plus deep-pipeline jobs/s, plus the
-// pattern-routed sparse-stream rows), the steady-state compiled execution,
-// and the batch throughput API. It emits
+// pattern-routed sparse-stream rows, plus the solve-as-a-service rows of
+// E17 — a warm streamed full direct solve at 0 allocs/op and a 128-deep
+// solve-qps pipeline reporting solves/s), the steady-state compiled
+// execution, and the batch throughput API. It emits
 // BENCH_<date>.json by default, extending the perf trajectory that future
 // changes are judged against; cmd/benchdiff compares two snapshots and
 // gates regressions in CI.
@@ -441,6 +443,58 @@ func main() {
 				}
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		}))
+		// Solve-as-a-service (E17): the full direct solve (BlockLU + both
+		// triangular phases) streamed as an Into ticket on the warm
+		// affinity shard — the solve-stream acceptance criterion, 0
+		// allocs/op per solve after warmup.
+		gdst := make(matrix.Vector, nd)
+		entries = append(entries, bench(fmt.Sprintf("solve-stream/w=%d/n=%d/%s", tw, nd, name), metrics, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < 64; i++ {
+				tk, err := s.SubmitSolveInto(gdst, ag, dg, tw, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk, err := s.SubmitSolveInto(gdst, ag, dg, tw, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		}))
+		// Solve QPS: a 128-deep pipeline of in-flight solve tickets — the
+		// solves/sec row the BENCH trajectory was missing.
+		gdsts := make([]matrix.Vector, depth)
+		gtickets := make([]stream.SolvePassTicket, depth)
+		for k := range gdsts {
+			gdsts[k] = make(matrix.Vector, nd)
+		}
+		entries = append(entries, bench(fmt.Sprintf("solve-qps/w=%d/n=%d/%s", tw, nd, name), metrics, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < depth; k++ {
+					var err error
+					if gtickets[k], err = s.SubmitSolveInto(gdsts[k], ag, dg, tw, core.EngineCompiled); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for k := 0; k < depth; k++ {
+					if _, err := gtickets[k].Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(depth*b.N)/b.Elapsed().Seconds(), "solves/s")
 		}))
 		// Scheduler counter snapshot after the rows above: the stream
 		// robustness telemetry (admission/failure counters) recorded

@@ -1,9 +1,10 @@
 // Command doccheck is the documentation gate CI runs on every push: it
 // fails when an internal package lacks a package doc comment, when an
 // exported identifier of the engine- and runtime-facing packages
-// (internal/core, internal/schedule, internal/stream, internal/sparse)
-// lacks a doc comment, or when a relative markdown link in the top-level
-// docs points at a file that does not exist.
+// (internal/core, internal/schedule, internal/stream, internal/sparse,
+// the direct solvers, and the internal/solved HTTP facade) lacks a doc
+// comment, or when a relative markdown link in the top-level docs points
+// at a file that does not exist.
 //
 // Usage:
 //
@@ -34,6 +35,7 @@ var strictPackages = map[string]bool{
 	"sparse":   true,
 	"solve":    true,
 	"trisolve": true,
+	"solved":   true,
 }
 
 // markdownFiles are the top-level documents whose relative links must

@@ -28,6 +28,11 @@
 // as its typed error (ErrSaturated, stream.ErrDeadlineExceeded,
 // core.ErrPanicked with a stack), every non-faulted ticket must still
 // redeem to the serial result, and the scheduler's counters must add up.
+// The solve-stream category is the solve-as-a-service differential:
+// random systems streamed as full and Into solve tickets with mixed
+// engines, priorities and deadlines, each required DeepEqual — solution
+// and stats — to the serial one-shot solve.Solve, plus a singular system
+// whose typed failure must leave its shard serving.
 // Exits non-zero on the first mismatch.
 //
 // Usage:
@@ -77,6 +82,7 @@ func main() {
 	run("solvers", *n/5, func() { solverCase(rng, *maxw) })
 	run("batch", *n/10, func() { batchCase(rng, *maxw) })
 	run("stream", *n/10, func() { streamCase(rng, *maxw) })
+	run("solve-stream", *n/10, func() { solveStreamCase(rng, *maxw) })
 	run("chaos", *n/10, func() { chaosCase(rng, *maxw) })
 
 	if failures > 0 {
@@ -99,7 +105,7 @@ func run(name string, n int, f func()) {
 	for i := 0; i < n; i++ {
 		f()
 	}
-	fmt.Printf("  %-8s %4d cases ok\n", name, n)
+	fmt.Printf("  %-12s %4d cases ok\n", name, n)
 }
 
 func fail(format string, args ...interface{}) {
@@ -588,6 +594,118 @@ func streamCase(rng *rand.Rand, maxw int) {
 		if !reflect.DeepEqual(sb, cb) {
 			fail("stream batch differs from core batch (w=%d shards=%d)", w, shards)
 		}
+	}
+}
+
+// solveStreamCase is the solve-as-a-service differential: random
+// diagonally loaded systems streamed through the scheduler as full and
+// Into solve tickets with mixed engines, priorities and generous
+// deadlines, every redemption required DeepEqual — solution AND stats —
+// to the serial one-shot solve.Solve of the same system. Sizes recycle so
+// the shard-arena workspace pool serves warm hits, and one deliberately
+// singular system per case checks the typed failure path leaves the shard
+// serving.
+func solveStreamCase(rng *rand.Rand, maxw int) {
+	if maxw < 2 {
+		maxw = 2
+	}
+	w := 2 + rng.Intn(maxw-1)
+	shards := 1 + rng.Intn(4)
+	s := stream.New(stream.Config{Shards: shards, QueueBound: 32})
+	defer s.Close()
+
+	count := 6 + rng.Intn(8)
+	sizes := []int{2 + rng.Intn(2*w), 2 + rng.Intn(2*w)} // recycled → warm workspaces
+	type ref struct {
+		x     matrix.Vector
+		stats *solve.SolveStats
+	}
+	as := make([]*matrix.Dense, count)
+	ds := make([]matrix.Vector, count)
+	refs := make([]ref, count)
+	full := make([]stream.SolveTicket, count)
+	into := make([]stream.SolvePassTicket, count)
+	dsts := make([]matrix.Vector, count)
+	for i := 0; i < count; i++ {
+		n := sizes[i%len(sizes)]
+		a := matrix.RandomDense(rng, n, n, 2)
+		for k := 0; k < n; k++ {
+			a.Set(k, k, 20)
+		}
+		d := matrix.RandomVector(rng, n, 5)
+		var eng core.Engine
+		if rng.Intn(3) == 0 {
+			eng = core.EngineOracle
+		}
+		x, stats, err := solve.Solve(a, d, w, solve.Options{Engine: eng})
+		if err != nil {
+			fail("solve-stream serial reference: %v", err)
+			return
+		}
+		as[i], ds[i], refs[i] = a, d, ref{x, stats}
+		q := stream.QoS{}
+		if rng.Intn(2) == 0 {
+			q.Deadline = time.Now().Add(time.Minute)
+		}
+		if rng.Intn(4) == 0 {
+			q.Priority = stream.Low
+		}
+		if full[i], err = s.SubmitSolveQoS(a, d, w, eng, q); err != nil {
+			fail("solve-stream submit: %v", err)
+			return
+		}
+		dsts[i] = make(matrix.Vector, n)
+		if into[i], err = s.SubmitSolveInto(dsts[i], a, d, w, eng); err != nil {
+			fail("solve-stream submit Into: %v", err)
+			return
+		}
+	}
+	for i := 0; i < count; i++ {
+		x, stats, err := full[i].Wait()
+		if err != nil {
+			fail("solve-stream ticket %d: %v", i, err)
+			continue
+		}
+		if !reflect.DeepEqual(x, refs[i].x) || !reflect.DeepEqual(stats, refs[i].stats) {
+			fail("solve-stream ticket %d diverged from serial (n=%d w=%d shards=%d)", i, as[i].Rows(), w, shards)
+		}
+		istats, err := into[i].Wait()
+		if err != nil {
+			fail("solve-stream Into ticket %d: %v", i, err)
+			continue
+		}
+		if !reflect.DeepEqual(dsts[i], refs[i].x) || !reflect.DeepEqual(istats, *refs[i].stats) {
+			fail("solve-stream Into ticket %d diverged from serial (n=%d w=%d shards=%d)", i, as[i].Rows(), w, shards)
+		}
+	}
+	// One singular system: typed error with the pivot index, then the same
+	// shape again must still solve — no workspace poisoning.
+	sing := matrix.NewDense(2, 2)
+	sing.Set(0, 1, 1)
+	sing.Set(1, 0, 1)
+	sing.Set(1, 1, 1)
+	stk, err := s.SubmitSolve(sing, matrix.Vector{1, 2}, w, core.EngineCompiled)
+	if err != nil {
+		fail("solve-stream singular submit: %v", err)
+		return
+	}
+	var serr *solve.SingularError
+	if _, _, err := stk.Wait(); !errors.As(err, &serr) || serr.Index != 0 {
+		fail("solve-stream singular system returned %v, want *solve.SingularError at pivot 0", err)
+	}
+	good := matrix.FromRows([][]float64{{4, 1}, {1, 3}})
+	wantX, wantStats, err := solve.Solve(good, matrix.Vector{1, 2}, w, solve.Options{})
+	if err != nil {
+		fail("solve-stream post-singular reference: %v", err)
+		return
+	}
+	gtk, err := s.SubmitSolve(good, matrix.Vector{1, 2}, w, core.EngineAuto)
+	if err != nil {
+		fail("solve-stream post-singular submit: %v", err)
+		return
+	}
+	if gx, gstats, err := gtk.Wait(); err != nil || !reflect.DeepEqual(gx, wantX) || !reflect.DeepEqual(gstats, wantStats) {
+		fail("solve-stream post-singular solve diverged (err=%v)", err)
 	}
 }
 

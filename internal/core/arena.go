@@ -29,6 +29,7 @@ type Arena struct {
 	memo *schedule.PlanMemo
 	mvT  *dbt.MatVec
 	mmT  *dbt.MatMul
+	kept map[uint64]interface{}
 
 	floats   [][]float64
 	fcursor  int
@@ -82,6 +83,25 @@ func (ar *Arena) Dense(rows, cols int) *matrix.Dense {
 // (sparse.MatVec.PassInto), which key the memo by (shape, pattern digest)
 // with full pattern verification on every hit.
 func (ar *Arena) Plans() *schedule.PlanMemo { return ar.memo }
+
+// Kept returns the long-lived value cached under key by Keep, or nil when
+// none is. Kept values survive Reset exactly like plans and transforms do:
+// they are the arena's workspace pool, letting higher layers that core
+// cannot import (the stream scheduler's solve tickets keep a warm
+// solve.Workspace per array size this way) attach per-shard steady state
+// to the shard's arena. The uint64 key space is the caller's to partition;
+// the hit path is a plain map lookup — no boxing, no allocation.
+func (ar *Arena) Kept(key uint64) interface{} { return ar.kept[key] }
+
+// Keep caches value under key for Kept, retained across Resets for the
+// arena's lifetime. Kept values follow the arena ownership contract: they
+// belong to the arena's goroutine and must never escape to another.
+func (ar *Arena) Keep(key uint64, value interface{}) {
+	if ar.kept == nil {
+		ar.kept = make(map[uint64]interface{})
+	}
+	ar.kept[key] = value
+}
 
 // MatVecPass computes dst = A·x + b (b may be nil) as one linear-array pass
 // on the selected engine and returns the pass's measured step count T. dst

@@ -64,6 +64,23 @@ func NewWorkspaceExecutor(w int, exec *core.Executor) *Workspace {
 	}
 }
 
+// NewWorkspaceArena returns a serial workspace (its trisolve substrate
+// included) that replays compiled plans and draws pass scratch through the
+// caller's arena instead of private ones, so repeated solves reuse the
+// arena's PlanMemo — the constructor behind the stream scheduler's solve
+// tickets, where each shard's arena keeps one warm workspace per array
+// size. The arena is shared, not owned; the workspace inherits its
+// goroutine-ownership contract and Resets it freely between passes, so
+// nothing else drawn from the arena may be live across a workspace call.
+// The pass decomposition is identical to NewWorkspace's, so results and
+// stats stay bit-identical to the serial one-shot path.
+func NewWorkspaceArena(w int, ar *core.Arena) *Workspace {
+	if w < 1 {
+		panic(fmt.Sprintf("solve: invalid array size %d", w))
+	}
+	return &Workspace{w: w, ar: ar, tri: trisolve.NewWorkspaceArena(w, ar)}
+}
+
 // BlockLU factors A = L·U without pivoting exactly as the package-level
 // BlockLU (which delegates here), with the trailing update of each
 // elimination step decomposed into per-column-tile array passes that fan

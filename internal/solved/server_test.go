@@ -1,0 +1,263 @@
+package solved
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/solve"
+	"repro/internal/stream"
+)
+
+// newTestServer builds a facade over a fresh scheduler; the cleanup order
+// (HTTP server, then stream) matches the ownership contract.
+func newTestServer(t *testing.T, cfg stream.Config) (*httptest.Server, *stream.Scheduler) {
+	t.Helper()
+	s := stream.New(cfg)
+	ts := httptest.NewServer(New(Config{Stream: s}))
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return ts, s
+}
+
+// postSolve posts one request and decodes the response body into out.
+func postSolve(t *testing.T, ts *httptest.Server, req Request, out interface{}) *http.Response {
+	t.Helper()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %d response: %v", resp.StatusCode, err)
+		}
+	}
+	return resp
+}
+
+// TestSolveEndpoint200: a well-formed system returns 200 with the solution
+// and stats bit-identical to the serial one-shot solve.Solve, on every
+// engine selector.
+func TestSolveEndpoint200(t *testing.T) {
+	ts, _ := newTestServer(t, stream.Config{Shards: 2})
+	rng := rand.New(rand.NewSource(17))
+	a := matrix.RandomDense(rng, 6, 6, 2)
+	for i := 0; i < 6; i++ {
+		a.Set(i, i, 20)
+	}
+	rows := make([][]float64, 6)
+	d := make([]float64, 6)
+	for i := range rows {
+		rows[i] = make([]float64, 6)
+		for j := range rows[i] {
+			rows[i][j] = a.At(i, j)
+		}
+		d[i] = float64(i + 1)
+	}
+	for _, engine := range []string{"", "auto", "compiled", "oracle"} {
+		var got Response
+		resp := postSolve(t, ts, Request{A: rows, D: d, W: 3, Engine: engine}, &got)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %q: status %d, want 200", engine, resp.StatusCode)
+		}
+		eng := core.EngineAuto
+		if engine == "oracle" {
+			eng = core.EngineOracle
+		} else if engine == "compiled" {
+			eng = core.EngineCompiled
+		}
+		wantX, wantStats, err := solve.Solve(a, d, 3, solve.Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(matrix.Vector(got.X), wantX) || !reflect.DeepEqual(got.Stats, *wantStats) {
+			t.Errorf("engine %q: HTTP solve diverged from serial", engine)
+		}
+	}
+}
+
+// TestSolveEndpoint422Singular: a singular system returns 422 carrying the
+// zero pivot's index — the *solve.SingularError surfaced as JSON.
+func TestSolveEndpoint422Singular(t *testing.T) {
+	ts, _ := newTestServer(t, stream.Config{Shards: 1})
+	var got ErrorResponse
+	resp := postSolve(t, ts, Request{
+		A: [][]float64{{0, 1}, {1, 1}},
+		D: []float64{1, 2},
+		W: 2,
+	}, &got)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	if got.PivotIndex == nil || *got.PivotIndex != 0 {
+		t.Errorf("response %+v, want pivot_index 0", got)
+	}
+	if got.Error == "" {
+		t.Error("422 response carries no error message")
+	}
+}
+
+// TestSolveEndpoint429Saturated: saturation (forced by an always-shedding
+// injector) returns 429 with a Retry-After header.
+func TestSolveEndpoint429Saturated(t *testing.T) {
+	ts, _ := newTestServer(t, stream.Config{
+		Shards:   1,
+		Policy:   stream.Shed,
+		Injector: &stream.Injector{ShedEvery: 1},
+	})
+	var got ErrorResponse
+	resp := postSolve(t, ts, Request{A: [][]float64{{2}}, D: []float64{1}, W: 1}, &got)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want a positive whole-second hint", resp.Header.Get("Retry-After"))
+	}
+	if got.Error == "" {
+		t.Error("429 response carries no error message")
+	}
+}
+
+// TestSolveEndpoint504Deadline: an unmeetable deadline returns 504. The
+// single shard is stalled to ~10ms per job and warmed once so its EWMA
+// carries the stall; a 1ms budget is then predictably infeasible and
+// admission sheds it with the typed deadline error.
+func TestSolveEndpoint504Deadline(t *testing.T) {
+	ts, _ := newTestServer(t, stream.Config{
+		Shards:   1,
+		Injector: &stream.Injector{StallShard: 0, StallDelay: 10 * time.Millisecond},
+	})
+	if resp := postSolve(t, ts, Request{A: [][]float64{{2}}, D: []float64{1}, W: 1}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d", resp.StatusCode)
+	}
+	var got ErrorResponse
+	resp := postSolve(t, ts, Request{A: [][]float64{{2}}, D: []float64{1}, W: 1, TimeoutMS: 1}, &got)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if got.Error == "" {
+		t.Error("504 response carries no error message")
+	}
+}
+
+// TestSolveEndpoint400: malformed bodies — bad JSON, unknown fields,
+// ragged or empty systems, mismatched d, bad engine/priority/w — all
+// return 400 before any ticket is drawn.
+func TestSolveEndpoint400(t *testing.T) {
+	ts, s := newTestServer(t, stream.Config{Shards: 1})
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d, want 400", resp.StatusCode)
+	}
+	cases := []Request{
+		{A: nil, D: nil}, // empty system
+		{A: [][]float64{{1, 2}, {3}}, D: []float64{1, 2}},          // ragged
+		{A: [][]float64{{1, 2}}, D: []float64{1}},                  // not square
+		{A: [][]float64{{2}}, D: []float64{1, 2}},                  // len(d) mismatch
+		{A: [][]float64{{2}}, D: []float64{1}, W: -1},              // bad w
+		{A: [][]float64{{2}}, D: []float64{1}, Engine: "quantum"},  // bad engine
+		{A: [][]float64{{2}}, D: []float64{1}, Priority: "urgent"}, // bad priority
+	}
+	for i, c := range cases {
+		var got ErrorResponse
+		if resp := postSolve(t, ts, c, &got); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		} else if got.Error == "" {
+			t.Errorf("case %d: 400 response carries no error message", i)
+		}
+	}
+	if st := s.Stats(); st.Submitted != 0 {
+		t.Errorf("malformed requests reached the scheduler: %+v", st)
+	}
+}
+
+// TestSolveEndpoint405And503: wrong methods return 405 with an Allow
+// header; a closed stream returns 503.
+func TestSolveEndpoint405And503(t *testing.T) {
+	ts, s := newTestServer(t, stream.Config{Shards: 1})
+	resp, err := http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodPost {
+		t.Fatalf("GET /solve: status %d Allow %q, want 405 with Allow: POST", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+	resp, err = http.Post(ts.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats: status %d, want 405", resp.StatusCode)
+	}
+
+	s.Close()
+	var got ErrorResponse
+	if resp := postSolve(t, ts, Request{A: [][]float64{{2}}, D: []float64{1}, W: 1}, &got); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed stream: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestStatsEndpoint: /stats reports the shard count's worth of queue
+// depths and counters consistent with the served traffic.
+func TestStatsEndpoint(t *testing.T) {
+	ts, s := newTestServer(t, stream.Config{Shards: 3})
+	for i := 0; i < 4; i++ {
+		if resp := postSolve(t, ts, Request{A: [][]float64{{2}}, D: []float64{1}, W: 1}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: status %d", resp.StatusCode)
+	}
+	var got StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.QueueDepths) != s.Shards() {
+		t.Errorf("queue_depths has %d entries, want %d", len(got.QueueDepths), s.Shards())
+	}
+	if got.Stream.Submitted != 4 || got.Stream.Completed != 4 {
+		t.Errorf("stream counters %+v, want 4 submitted and completed", got.Stream)
+	}
+}
+
+// TestSolveEndpointPriorityLow: a low-priority request sheds (429) at the
+// first full queue instead of blocking — the facade forwards the admission
+// class, it does not flatten it.
+func TestSolveEndpointPriorityLow(t *testing.T) {
+	ts, s := newTestServer(t, stream.Config{
+		Shards:   1,
+		Injector: &stream.Injector{ShedEvery: 1},
+	})
+	var got ErrorResponse
+	resp := postSolve(t, ts, Request{A: [][]float64{{2}}, D: []float64{1}, W: 1, Priority: "low"}, &got)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if st := s.Stats(); st.ShedLow != 1 || st.ShedHigh != 0 {
+		t.Errorf("stats %+v, want the shed accounted to the Low class", st)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/solve"
 	"repro/internal/sparse"
 )
 
@@ -19,6 +20,8 @@ const (
 	matmulPass
 	sparseFull
 	sparsePass
+	solveFull
+	solvePass
 )
 
 // job is one unit of stream work: inputs, the completion signal and the
@@ -50,11 +53,13 @@ type job struct {
 	mmp core.MatMulProblem
 
 	// Outputs.
-	steps int
-	mvres *core.MatVecResult
-	mmres *core.MatMulResult
-	spres *sparse.Result
-	err   error
+	steps   int
+	mvres   *core.MatVecResult
+	mmres   *core.MatMulResult
+	spres   *sparse.Result
+	svx     matrix.Vector
+	svstats solve.SolveStats
+	err     error
 
 	// done carries exactly one completion signal per submission; the
 	// ticket's Wait consumes it, keeping the channel clean for reuse.
@@ -70,9 +75,12 @@ type job struct {
 // core solvers a serial caller would use (global plan cache, fresh
 // result); sparse full jobs resolve their pattern-keyed plan through the
 // shard arena's memo (fresh result, plans identical to the serial ones);
-// pass jobs replay through the arena's memo and write into the caller's
-// buffer, allocating nothing once the shard is warm on that shape or
-// pattern.
+// solve jobs run the full BlockLU pipeline on the running shard's warm
+// arena-pooled workspace (serial pass decomposition — a stream job must
+// not block on an executor backed by its own scheduler — so results and
+// stats are bit-identical to one-shot solve.Solve); pass jobs replay
+// through the arena's memo and write into the caller's buffer, allocating
+// nothing once the shard is warm on that shape or pattern.
 func (j *job) RunPass(worker int, ar *core.Arena) {
 	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
 		j.err = &DeadlineError{Expired: true}
@@ -98,6 +106,26 @@ func (j *job) RunPass(worker int, ar *core.Arena) {
 		j.spres, j.err = j.sp.SolveEngineOn(ar, j.x, j.b, j.eng)
 	case sparsePass:
 		j.steps, j.err = j.sp.PassInto(ar, j.dst, j.x, j.b, j.eng)
+	case solveFull:
+		ws := arenaSolveWorkspace(ar, j.w)
+		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng})
+		if err != nil {
+			j.err = err
+		} else {
+			// x and stats are workspace-owned; the full-result ticket hands
+			// the caller fresh copies, like the other full-result kinds.
+			j.svx = append(matrix.Vector(nil), x...)
+			j.svstats = *stats
+		}
+	case solvePass:
+		ws := arenaSolveWorkspace(ar, j.w)
+		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng})
+		if err != nil {
+			j.err = err
+		} else {
+			copy(j.dst, x)
+			j.svstats = *stats
+		}
 	}
 	j.s.observe(worker, time.Since(start))
 	j.s.completed.Add(1)

@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/solve"
+)
+
+// Solve-as-a-service: the paper's headline workload — the full direct
+// solve, BlockLU plus both triangular phases — streamed through the same
+// sharded runtime as the matvec/matmul/sparse tickets. Each shard's arena
+// keeps one warm solve.Workspace per array size (built on first use via
+// solve.NewWorkspaceArena, cached with core.Arena.Keep), so a repeating
+// stream of solves reuses the shard's compiled plans and, on the Into
+// variant, allocates nothing once warm. Solve jobs participate in EWMA
+// admission, priority classes, expiry-while-queued and panic isolation
+// exactly like the other six submit paths.
+
+// solveKeepBase partitions core.Arena's Keep key space for the stream's
+// solve workspaces: workspace for array size w lives under key
+// w<<8 | solveKeepBase. Nothing else in the repository keys that space.
+const solveKeepBase uint64 = 0x50
+
+// arenaSolveWorkspace returns the running shard's warm solve workspace for
+// array size w, building one on the shard's arena the first time the shard
+// sees that size. The workspace shares the arena's PlanMemo with the
+// shard's pass jobs and survives arena Resets, so every later solve of the
+// same size on this shard is plan-warm. The hit path is one map lookup and
+// one type assertion — no allocation.
+func arenaSolveWorkspace(ar *core.Arena, w int) *solve.Workspace {
+	key := uint64(w)<<8 | solveKeepBase
+	if ws, ok := ar.Kept(key).(*solve.Workspace); ok {
+		return ws
+	}
+	ws := solve.NewWorkspaceArena(w, ar)
+	ar.Keep(key, ws)
+	return ws
+}
+
+// validateSolve checks a solve submission's shapes synchronously, so a
+// malformed request fails at Submit instead of poisoning a ticket.
+func validateSolve(a *matrix.Dense, d matrix.Vector, w int) error {
+	if w < 1 {
+		return fmt.Errorf("stream: invalid array size %d", w)
+	}
+	n := a.Rows()
+	if a.Cols() != n {
+		return fmt.Errorf("stream: solve needs a square matrix, got %d×%d", n, a.Cols())
+	}
+	if len(d) != n {
+		return fmt.Errorf("stream: len(d)=%d, want %d", len(d), n)
+	}
+	return nil
+}
+
+// SolveTicket is the one-shot future of a SubmitSolve job.
+type SolveTicket struct{ j *job }
+
+// Wait blocks until the solve finishes and returns the solution and stats —
+// exactly what the serial one-shot solve.Solve would return, residual
+// included. The returned vector and stats are fresh copies owned by the
+// caller. See MatVecTicket.Wait for the redemption rules.
+func (t SolveTicket) Wait() (matrix.Vector, *solve.SolveStats, error) {
+	j := t.j
+	<-j.done
+	x, stats, err := j.svx, j.svstats, j.err
+	j.s.release(j)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, &stats, nil
+}
+
+// SolvePassTicket is the one-shot future of a SubmitSolveInto job: the
+// solution lands in the buffer the caller handed to Submit, Wait returns
+// the stats by value — nothing on this path allocates once the shard is
+// warm on the shape.
+type SolvePassTicket struct{ j *job }
+
+// Wait blocks until the solve finishes and returns its stats; the caller's
+// dst holds the solution. On error dst is untouched. See MatVecTicket.Wait
+// for the redemption rules.
+func (t SolvePassTicket) Wait() (solve.SolveStats, error) {
+	j := t.j
+	<-j.done
+	stats, err := j.svstats, j.err
+	j.s.release(j)
+	return stats, err
+}
+
+// SubmitSolve enqueues one full direct solve A·x = d (BlockLU plus both
+// triangular phases, paper §4's complete pipeline) for array size w on the
+// selected engine and returns its ticket. Solves route by shape affinity —
+// same (n, w, engine), same shard — so a repeating stream of solves replays
+// the shard workspace's compiled plans. A must be square with nonsingular
+// leading minors; a zero pivot resolves the ticket with an errors.As-
+// matchable *solve.SingularError carrying the pivot index, and the shard
+// keeps serving. Inputs must stay untouched until the ticket is redeemed.
+func (s *Scheduler) SubmitSolve(a *matrix.Dense, d matrix.Vector, w int, eng core.Engine) (SolveTicket, error) {
+	return s.SubmitSolveQoS(a, d, w, eng, QoS{})
+}
+
+// SubmitSolveQoS is SubmitSolve with a deadline and priority class
+// attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitSolveQoS(a *matrix.Dense, d matrix.Vector, w int, eng core.Engine, q QoS) (SolveTicket, error) {
+	if err := validateSolve(a, d, w); err != nil {
+		return SolveTicket{}, err
+	}
+	j := s.get(q)
+	j.kind, j.w, j.eng = solveFull, w, eng
+	j.a, j.b = a, d
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), solveFull, w, a.Rows(), a.Cols(), int(eng))); err != nil {
+		return SolveTicket{}, err
+	}
+	return SolveTicket{j}, nil
+}
+
+// SubmitSolveInto enqueues one full direct solve A·x = d writing the
+// solution into dst (len = n, which must not alias d) — the
+// zero-allocation solve stream path: once the affinity shard is warm on
+// the shape, submit, execution and redemption allocate nothing. Inputs and
+// dst must stay untouched until the ticket is redeemed; on error dst is
+// untouched.
+func (s *Scheduler) SubmitSolveInto(dst matrix.Vector, a *matrix.Dense, d matrix.Vector, w int, eng core.Engine) (SolvePassTicket, error) {
+	return s.SubmitSolveIntoQoS(dst, a, d, w, eng, QoS{})
+}
+
+// SubmitSolveIntoQoS is SubmitSolveInto with a deadline and priority class
+// attached; see QoS for the admission semantics. The warm-shard
+// zero-allocation guarantee holds under QoS too: deadlines ride in the
+// pooled job.
+func (s *Scheduler) SubmitSolveIntoQoS(dst matrix.Vector, a *matrix.Dense, d matrix.Vector, w int, eng core.Engine, q QoS) (SolvePassTicket, error) {
+	if err := validateSolve(a, d, w); err != nil {
+		return SolvePassTicket{}, err
+	}
+	if len(dst) != a.Rows() {
+		return SolvePassTicket{}, fmt.Errorf("stream: dst len %d, want %d", len(dst), a.Rows())
+	}
+	j := s.get(q)
+	j.kind, j.w, j.eng = solvePass, w, eng
+	j.dst, j.a, j.b = dst, a, d
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), solvePass, w, a.Rows(), a.Cols(), int(eng))); err != nil {
+		return SolvePassTicket{}, err
+	}
+	return SolvePassTicket{j}, nil
+}

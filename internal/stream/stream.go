@@ -15,8 +15,13 @@
 // without allocating at all. Sparse jobs extend the same idea to data: they
 // route by pattern affinity (shape plus the retained-block pattern digest,
 // sparse.PatternKey), so a repeating sparsity pattern replays its shard's
-// memoized pattern-keyed plan. Idle shards steal from sibling queues, so
-// affinity is a locality heuristic, never a load-balance hazard.
+// memoized pattern-keyed plan. Solve jobs extend it to the paper's
+// headline workload: a SubmitSolve ticket runs the full direct solve
+// (BlockLU plus both triangular phases) on a warm solve.Workspace the
+// shard's arena pools per array size, so solve-as-a-service streams at the
+// same warm steady state as the pass jobs. Idle shards steal from sibling
+// queues, so affinity is a locality heuristic, never a load-balance
+// hazard.
 //
 // Admission is controlled per scheduler: every shard queue is bounded, and
 // a full queue either blocks the submitter (Block, the default) or fails
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/solve"
 )
 
 // Policy selects what Submit does when the routed shard queue is full.
@@ -149,6 +155,12 @@ func New(cfg Config) *Scheduler {
 // Shards returns the number of simulated arrays.
 func (s *Scheduler) Shards() int { return s.fleet.Shards() }
 
+// QueueDepth returns the number of jobs currently queued on shard (not
+// counting the one being served) — the load signal behind admission's
+// predicted waits, exposed for operational surfaces like cmd/solved's
+// /stats endpoint. Shards outside [0, Shards()) panic.
+func (s *Scheduler) QueueDepth(shard int) int { return s.fleet.QueueLen(shard) }
+
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
 	high, low := s.shed[High].Load(), s.shed[Low].Load()
@@ -236,6 +248,7 @@ func (s *Scheduler) release(j *job) {
 	j.sp = nil
 	j.mvp, j.mmp = core.MatVecProblem{}, core.MatMulProblem{}
 	j.mvres, j.mmres, j.spres = nil, nil, nil
+	j.svx, j.svstats = nil, solve.SolveStats{}
 	j.steps, j.err = 0, nil
 	j.deadline, j.prio, j.seq = time.Time{}, High, 0
 	s.jobs.Put(j)

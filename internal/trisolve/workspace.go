@@ -67,6 +67,20 @@ func NewWorkspaceExecutor(w int, exec *core.Executor) *Workspace {
 	}
 }
 
+// NewWorkspaceArena returns a serial workspace replaying its compiled
+// plans and drawing its pass scratch through the caller's arena instead of
+// a private one, so the workspace shares the arena's PlanMemo (a stream
+// shard keeps its solve workspaces warm on the same memo its pass jobs
+// use). The arena is shared, not owned; the workspace inherits its
+// goroutine-ownership contract and may Reset it freely between passes, so
+// nothing else drawn from the arena may be live across a workspace call.
+func NewWorkspaceArena(w int, ar *core.Arena) *Workspace {
+	if w < 1 {
+		panic(fmt.Sprintf("trisolve: invalid array size %d", w))
+	}
+	return &Workspace{w: w, ar: ar, tri: New(w)}
+}
+
 // SolveBandInto solves the band system L·x = b into dst (len = n) on the
 // selected engine and returns the measured step count. It is the
 // zero-steady-state-allocation counterpart of Array.SolveBandEngine (which

@@ -60,6 +60,16 @@ type StreamQoS = stream.QoS
 // one through StreamConfig.Injector.
 type StreamInjector = stream.Injector
 
+// StreamSolveTicket is the one-shot future of a Stream.SubmitSolve job:
+// Wait returns a caller-owned solution vector and stats, exactly what the
+// serial one-shot solve.Solve would return.
+type StreamSolveTicket = stream.SolveTicket
+
+// StreamSolvePassTicket is the one-shot future of a Stream.SubmitSolveInto
+// job: the solution lands in the caller's buffer and Wait returns the
+// stats by value — the zero-allocation solve-as-a-service path.
+type StreamSolvePassTicket = stream.SolvePassTicket
+
 // NewStream starts a stream scheduler; Close it when done. Typical use:
 //
 //	s := repro.NewStream(repro.StreamConfig{Shards: 4})
