@@ -9,7 +9,10 @@
 // trip at 0 allocs/op after warmup, plus deep-pipeline jobs/s, plus the
 // pattern-routed sparse-stream rows, plus the solve-as-a-service rows of
 // E17 — a warm streamed full direct solve at 0 allocs/op and a 128-deep
-// solve-qps pipeline reporting solves/s), the steady-state compiled
+// solve-qps pipeline reporting solves/s), the robustness rows of E18 — the
+// partially pivoted solve and the pivoted+refined solve on a row-scrambled
+// system, pricing what "no input returns garbage" costs over the unpivoted
+// fast path — the steady-state compiled
 // execution, and the batch throughput API. It emits
 // BENCH_<date>.json by default, extending the perf trajectory that future
 // changes are judged against; cmd/benchdiff compares two snapshots and
@@ -156,6 +159,17 @@ func main() {
 		ag.Set(i, i, 25)
 	}
 	dg := ag.MulVec(matrix.RandomVector(rng, nd, 3), nil)
+	// The same system with its rows scrambled: well-conditioned, but the
+	// pivoted rows must recover the row order — a nontrivial permutation on
+	// every factorization.
+	agp := matrix.NewDense(nd, nd)
+	dgp := make(matrix.Vector, nd)
+	for i, pi := range rng.Perm(nd) {
+		for j := 0; j < nd; j++ {
+			agp.Set(i, j, ag.At(pi, j))
+		}
+		dgp[i] = dg[pi]
+	}
 	for _, eng := range []struct {
 		name string
 		e    core.Engine
@@ -217,6 +231,40 @@ func main() {
 					}
 					if i == 0 {
 						b.ReportMetric(float64(st.LU.ArraySteps+st.TriSteps+st.MatVecSteps), "array-steps")
+					}
+				}
+			}),
+			bench(fmt.Sprintf("solve-pivot/w=%d/n=%d/%s", tw, nd, eng.name), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				ws := solve.NewWorkspace(tw)
+				opts := solve.Options{Engine: eng.e, Pivot: solve.PivotPartial}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st, err := ws.Solve(agp, dgp, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(st.LU.RowSwaps), "row-swaps")
+					}
+				}
+			}),
+			bench(fmt.Sprintf("solve-refine/w=%d/n=%d/%s", tw, nd, eng.name), nil, func(b *testing.B) {
+				b.ReportAllocs()
+				ws := solve.NewWorkspace(tw)
+				opts := solve.Options{
+					Engine: eng.e,
+					Pivot:  solve.PivotPartial,
+					Refine: solve.RefineOptions{MaxIters: 4},
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, st, err := ws.Solve(agp, dgp, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(st.Refine.Iters), "refine-iters")
 					}
 				}
 			}),

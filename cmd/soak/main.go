@@ -33,6 +33,16 @@
 // engines, priorities and deadlines, each required DeepEqual — solution
 // and stats — to the serial one-shot solve.Solve, plus a singular system
 // whose typed failure must leave its shard serving.
+// The conditioning category is the no-garbage invariant: adversarially
+// conditioned systems — well-conditioned rows scrambled so factorization
+// needs pivoting, exactly singular (a zero column), symmetric indefinite,
+// and geometric diagonal ladders spanning mild to near-singular — solved
+// with partial pivoting and iterative refinement. Every scenario must end
+// in one of exactly two states: a finite solution with a converged
+// condition report, bit-identical across both engines and the stream
+// runtime, or a typed error (*solve.SingularError or
+// *solve.IllConditionedError) — never NaN, Inf or a silently wrong
+// vector.
 // Exits non-zero on the first mismatch.
 //
 // Usage:
@@ -44,6 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"reflect"
@@ -83,6 +94,7 @@ func main() {
 	run("batch", *n/10, func() { batchCase(rng, *maxw) })
 	run("stream", *n/10, func() { streamCase(rng, *maxw) })
 	run("solve-stream", *n/10, func() { solveStreamCase(rng, *maxw) })
+	run("conditioning", *n/5, func() { conditioningCase(rng, *maxw) })
 	run("chaos", *n/10, func() { chaosCase(rng, *maxw) })
 
 	if failures > 0 {
@@ -706,6 +718,139 @@ func solveStreamCase(rng *rand.Rand, maxw int) {
 	}
 	if gx, gstats, err := gtk.Wait(); err != nil || !reflect.DeepEqual(gx, wantX) || !reflect.DeepEqual(gstats, wantStats) {
 		fail("solve-stream post-singular solve diverged (err=%v)", err)
+	}
+}
+
+// conditioningCase draws one adversarially conditioned system — rows
+// scrambled so factorization needs pivoting, exactly singular, symmetric
+// indefinite, or a geometric diagonal ladder — and requires the pivoted,
+// refined solve to end in exactly one of two states: a finite solution
+// with a converged condition report, bit-identical across engines and the
+// stream runtime, or a typed *solve.SingularError /
+// *solve.IllConditionedError. Anything else — an untyped failure, NaN or
+// Inf in the solution, an unconverged report on the success path, or an
+// engine disagreement — is a garbage escape.
+func conditioningCase(rng *rand.Rand, maxw int) {
+	if maxw < 2 {
+		maxw = 2
+	}
+	w := 2 + rng.Intn(maxw-1)
+	n := 3 + rng.Intn(10)
+	kind := rng.Intn(4)
+	kinds := [4]string{"needs-pivoting", "singular", "indefinite", "geometric-ladder"}
+	a := matrix.NewDense(n, n)
+	switch kind {
+	case 0: // well-conditioned rows scrambled: unpivoted LU hits tiny or zero pivots
+		dd := matrix.RandomDense(rng, n, n, 3)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if j != i {
+					rowSum += math.Abs(dd.At(i, j))
+				}
+			}
+			dd.Set(i, i, rowSum+1+float64(rng.Intn(3)))
+		}
+		for i, pi := range rng.Perm(n) {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, dd.At(pi, j))
+			}
+		}
+	case 1: // exactly singular: one column identically zero (exact in fp)
+		zc := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j != zc {
+					a.Set(i, j, float64(rng.Intn(9)-4))
+				}
+			}
+		}
+	case 2: // symmetric indefinite: mixed-sign diagonal, no dominance
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				v := float64(rng.Intn(7) - 3)
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+			sign := float64(1 - 2*(rng.Intn(2)))
+			a.Set(i, i, sign*float64(1+rng.Intn(4)))
+		}
+	case 3: // geometric diagonal ladder: condition grows as ratio^(n-1)
+		ratio := []float64{2, 4, 10}[rng.Intn(3)]
+		scale := 1.0
+		for i := 0; i < n; i++ {
+			a.Set(i, i, scale)
+			scale /= ratio
+			for j := 0; j < i; j++ {
+				a.Set(i, j, float64(rng.Intn(3)-1)*scale)
+			}
+		}
+	}
+	d := matrix.RandomVector(rng, n, 5)
+	opts := solve.Options{
+		Engine: core.EngineCompiled,
+		Pivot:  solve.PivotPartial,
+		Refine: solve.RefineOptions{MaxIters: 4},
+	}
+	x, stats, err := solve.Solve(a, d, w, opts)
+
+	oracleOpts := opts
+	oracleOpts.Engine = core.EngineOracle
+	ox, ostats, oerr := solve.Solve(a, d, w, oracleOpts)
+
+	if err != nil {
+		var serr *solve.SingularError
+		var cerr *solve.IllConditionedError
+		if !errors.As(err, &serr) && !errors.As(err, &cerr) {
+			fail("conditioning %s (n=%d w=%d): untyped failure %v", kinds[kind], n, w, err)
+			return
+		}
+		if kind == 1 && !errors.As(err, &serr) {
+			fail("conditioning singular (n=%d w=%d): zero column surfaced as %v, want *solve.SingularError", n, w, err)
+		}
+		// The failure must be engine-invariant: same outcome, same type.
+		if oerr == nil {
+			fail("conditioning %s (n=%d w=%d): compiled failed (%v) but oracle solved", kinds[kind], n, w, err)
+		} else if errors.As(err, &serr) != errors.As(oerr, &serr) {
+			fail("conditioning %s (n=%d w=%d): engines disagree on failure type: %v vs %v", kinds[kind], n, w, err, oerr)
+		}
+		return
+	}
+	if kind == 1 {
+		fail("conditioning singular (n=%d w=%d): exactly singular system produced a solution", n, w)
+		return
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			fail("conditioning %s (n=%d w=%d): garbage x[%d]=%g escaped", kinds[kind], n, w, i, v)
+			return
+		}
+	}
+	if !stats.Refine.Converged {
+		fail("conditioning %s (n=%d w=%d): success path carries an unconverged report %+v", kinds[kind], n, w, stats.Refine)
+	}
+	if oerr != nil {
+		fail("conditioning %s (n=%d w=%d): compiled solved but oracle failed: %v", kinds[kind], n, w, oerr)
+		return
+	}
+	if !reflect.DeepEqual(x, ox) || !reflect.DeepEqual(stats, ostats) {
+		fail("conditioning %s (n=%d w=%d): engines disagree on the refined solve", kinds[kind], n, w)
+	}
+	// The stream runtime must redeem the same system to the same bits.
+	s := stream.New(stream.Config{Shards: 1 + rng.Intn(3)})
+	defer s.Close()
+	tk, serr2 := s.SubmitSolveOpts(a, d, w, opts, stream.QoS{})
+	if serr2 != nil {
+		fail("conditioning %s stream submit: %v", kinds[kind], serr2)
+		return
+	}
+	sx, sstats, werr := tk.Wait()
+	if werr != nil {
+		fail("conditioning %s (n=%d w=%d): stream failed where serial solved: %v", kinds[kind], n, w, werr)
+		return
+	}
+	if !reflect.DeepEqual(sx, x) || !reflect.DeepEqual(sstats, stats) {
+		fail("conditioning %s (n=%d w=%d): stream diverged from serial", kinds[kind], n, w)
 	}
 }
 

@@ -520,7 +520,7 @@ func e14() {
 			if err != nil {
 				return err
 			}
-			if !l.Equal(lRef, 0) || !u.Equal(uRef, 0) || *st != stRefCopy {
+			if !l.Equal(lRef, 0) || !u.Equal(uRef, 0) || !reflect.DeepEqual(*st, stRefCopy) {
 				fmt.Fprintln(os.Stderr, "sweep: parallel BlockLU diverged from serial")
 				os.Exit(1)
 			}
@@ -531,7 +531,7 @@ func e14() {
 			if err != nil {
 				return err
 			}
-			if !x.Equal(xRef, 0) || *st != sstRefCopy {
+			if !x.Equal(xRef, 0) || !reflect.DeepEqual(*st, sstRefCopy) {
 				fmt.Fprintln(os.Stderr, "sweep: parallel Solve diverged from serial")
 				os.Exit(1)
 			}

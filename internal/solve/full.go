@@ -21,16 +21,25 @@ type SolveStats struct {
 	MatVecSteps, MatVecPasses int
 	// Residual is ‖A·x − d‖∞ of the returned solution.
 	Residual float64
+	// Refine reports the iterative-refinement trajectory when
+	// Options.Refine enabled it (zero value otherwise). A solve that
+	// returns successfully with refinement enabled always has
+	// Refine.Converged true — non-convergence is a typed error, not a
+	// stats flag.
+	Refine ConditionReport
 }
 
 // Solve solves A·x = d directly: block LU factorization with trailing
 // updates on the hexagonal array (tile passes fanned across opts.Executor
 // when one is attached), then the two triangular systems on the
 // triangular-solver and matvec arrays (right-looking, with the same
-// per-step fan-out). A must be square with nonsingular leading minors
-// (e.g. diagonally dominant); w is the array size. The implementation
-// lives on Workspace.Solve — use a Workspace directly for repeated
-// steady-state solves.
+// per-step fan-out). A must be square; without pivoting it also needs
+// nonsingular leading minors (e.g. diagonal dominance), while
+// opts.Pivot == PivotPartial accepts any nonsingular A. opts.Refine adds
+// residual-correction cycles on the retained factors, failing with
+// *IllConditionedError instead of returning an unconverged solution; w is
+// the array size. The implementation lives on Workspace.Solve — use a
+// Workspace directly for repeated steady-state solves.
 func Solve(a *matrix.Dense, d matrix.Vector, w int, opts Options) (matrix.Vector, *SolveStats, error) {
 	return NewWorkspaceExecutor(w, opts.Executor).Solve(a, d, opts)
 }

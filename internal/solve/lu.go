@@ -17,17 +17,29 @@ type LUStats struct {
 	// factorizations/substitutions — the report-/8/ substitution; all
 	// O(n³) work runs on the array).
 	HostOps int
+	// RowSwaps counts the row exchanges partial pivoting performed
+	// (always 0 under PivotNone).
+	RowSwaps int
+	// Perm is the row permutation of the factorization when pivoting ran:
+	// Perm[i] is the original row of A standing at row i of P·A = L·U.
+	// It is nil under PivotNone, so unpivoted stats are unchanged. The
+	// slice is owned like the factors (workspace-owned on workspace
+	// calls); copy it to retain it across calls.
+	Perm []int `json:"Perm,omitempty"`
 }
 
-// BlockLU factors a square matrix A = L·U without pivoting, block size w:
+// BlockLU factors a square matrix, block size w (A = L·U under the
+// default opts.Pivot == PivotNone; P·A = L·U with host-side row exchanges
+// recorded in stats under PivotPartial):
 // a right-looking block algorithm whose trailing updates
 // A₂₂ ← A₂₂ − L₂₁·U₁₂ run as hexagonal-array passes, one per w-wide column
 // tile (C = (−L₂₁)·U₁₂ + E with E = A₂₂ — the array's additive input doing
 // the subtraction). The tile passes of one elimination step are
 // independent; with opts.Executor they fan out across a pool of simulated
 // arrays, bit-identical to the serial order. L is unit lower triangular, U
-// upper triangular. A must have nonsingular leading minors (e.g.
-// diagonally dominant).
+// upper triangular. Without pivoting A must have nonsingular leading
+// minors (e.g. diagonally dominant); with PivotPartial any nonsingular A
+// factors.
 //
 // The paper's conclusions (§4) list L-U decomposition among the problems
 // the methodology solves; the w×w diagonal-block factorizations and panel

@@ -38,6 +38,16 @@ type Options struct {
 	// every worker count; nil means serial on the caller's goroutine. The
 	// executor is shared, not owned: Close it separately.
 	Executor *core.Executor
+	// Pivot selects the row-pivoting policy of the underlying BlockLU
+	// (PivotNone: the historical no-pivoting default). PivotPartial runs
+	// host-side row permutations between the array passes, widening the
+	// solvable class to every nonsingular matrix; the pass decomposition
+	// is unchanged, so engine/worker equivalence is unaffected.
+	Pivot PivotPolicy
+	// Refine opts the direct solvers into iterative refinement
+	// (residual-correction cycles on the retained factors); the zero
+	// value disables it. See RefineOptions.
+	Refine RefineOptions
 }
 
 // IterStats reports an iterative solve.

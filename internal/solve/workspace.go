@@ -2,6 +2,7 @@ package solve
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/blockpart"
 	"repro/internal/core"
@@ -44,6 +45,10 @@ type Workspace struct {
 	fwX, x     matrix.Vector
 	padded     *matrix.Dense
 	dp, xout   matrix.Vector
+
+	perm            []int
+	dperm           matrix.Vector
+	resid, rp, corr matrix.Vector
 }
 
 // NewWorkspace returns a serial workspace for array size w: every pass
@@ -81,11 +86,15 @@ func NewWorkspaceArena(w int, ar *core.Arena) *Workspace {
 	return &Workspace{w: w, ar: ar, tri: trisolve.NewWorkspaceArena(w, ar)}
 }
 
-// BlockLU factors A = L·U without pivoting exactly as the package-level
-// BlockLU (which delegates here), with the trailing update of each
-// elimination step decomposed into per-column-tile array passes that fan
-// out across the executor. The returned factors and stats are
-// workspace-owned.
+// BlockLU factors A (opts.Pivot == PivotNone: A = L·U, requiring
+// nonsingular leading minors; PivotPartial: P·A = L·U with host-side row
+// exchanges recorded in stats.Perm) exactly as the package-level BlockLU
+// (which delegates here), with the trailing update of each elimination
+// step decomposed into per-column-tile array passes that fan out across
+// the executor. Pivoting only changes the host panel phase between array
+// passes — the pass decomposition is identical, so results and stats stay
+// bit-identical across engines and worker counts under either policy. The
+// returned factors and stats are workspace-owned.
 func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense, stats *LUStats, err error) {
 	n := a.Rows()
 	if a.Cols() != n {
@@ -98,23 +107,56 @@ func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense,
 	ws.lu = LUStats{}
 	work, lf, uf := ws.work, ws.l, ws.u
 	stats = &ws.lu
+	pivoted := opts.Pivot == PivotPartial
+	if pivoted {
+		ws.perm = matrix.ReuseSlice[int](ws.perm, n)
+		for i := range ws.perm {
+			ws.perm[i] = i
+		}
+		stats.Perm = ws.perm
+	}
 
 	for k0 := 0; k0 < n; k0 += w {
 		k1 := k0 + w
 		if k1 > n {
 			k1 = n
 		}
-		// Host: factor the diagonal block (Doolittle, unit L).
-		for i := k0; i < k1; i++ {
-			for j := k0; j < k1; j++ {
-				s := work.At(i, j)
-				for t := k0; t < min(i, j); t++ {
-					s -= lf.At(i, t) * uf.At(t, j)
-					stats.HostOps += 2
+		if pivoted {
+			// Host: pivoted panel — diagonal block and L₂₁ in one
+			// in-place elimination with row exchanges between the
+			// array passes.
+			if err := ws.pivotPanel(k0, k1); err != nil {
+				return nil, nil, nil, err
+			}
+		} else {
+			// Host: factor the diagonal block (Doolittle, unit L).
+			for i := k0; i < k1; i++ {
+				for j := k0; j < k1; j++ {
+					s := work.At(i, j)
+					for t := k0; t < min(i, j); t++ {
+						s -= lf.At(i, t) * uf.At(t, j)
+						stats.HostOps += 2
+					}
+					if j >= i {
+						uf.Set(i, j, s)
+					} else {
+						if uf.At(j, j) == 0 {
+							return nil, nil, nil, &SingularError{Op: "solve.BlockLU", Index: j}
+						}
+						lf.Set(i, j, s/uf.At(j, j))
+						stats.HostOps++
+					}
 				}
-				if j >= i {
-					uf.Set(i, j, s)
-				} else {
+				lf.Set(i, i, 1)
+			}
+			// Host: L₂₁ = A₂₁·U₁₁⁻¹ (back substitution per row).
+			for i := k1; i < n; i++ {
+				for j := k0; j < k1; j++ {
+					s := work.At(i, j)
+					for t := k0; t < j; t++ {
+						s -= lf.At(i, t) * uf.At(t, j)
+						stats.HostOps += 2
+					}
 					if uf.At(j, j) == 0 {
 						return nil, nil, nil, &SingularError{Op: "solve.BlockLU", Index: j}
 					}
@@ -122,27 +164,11 @@ func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense,
 					stats.HostOps++
 				}
 			}
-			lf.Set(i, i, 1)
 		}
 		if k1 == n {
 			break
 		}
-		// Host: panels. L₂₁ = A₂₁·U₁₁⁻¹ (back substitution per row),
-		// U₁₂ = L₁₁⁻¹·A₁₂ (forward substitution per column).
-		for i := k1; i < n; i++ {
-			for j := k0; j < k1; j++ {
-				s := work.At(i, j)
-				for t := k0; t < j; t++ {
-					s -= lf.At(i, t) * uf.At(t, j)
-					stats.HostOps += 2
-				}
-				if uf.At(j, j) == 0 {
-					return nil, nil, nil, &SingularError{Op: "solve.BlockLU", Index: j}
-				}
-				lf.Set(i, j, s/uf.At(j, j))
-				stats.HostOps++
-			}
-		}
+		// Host: U₁₂ = L₁₁⁻¹·A₁₂ (forward substitution per column).
 		for j := k1; j < n; j++ {
 			for i := k0; i < k1; i++ {
 				s := work.At(i, j)
@@ -195,6 +221,61 @@ func (ws *Workspace) BlockLU(a *matrix.Dense, opts Options) (l, u *matrix.Dense,
 	return lf, uf, stats, nil
 }
 
+// pivotPanel is the PivotPartial host phase of one elimination step: the
+// panel work[k0:n, k0:k1) is eliminated in place, column by column, each
+// column first swapping the largest-magnitude candidate pivot row to the
+// diagonal (a full-row exchange of the working copy plus the multipliers
+// already stored in L, with the swap recorded in perm). It produces
+// exactly what the unpivoted diagonal+L₂₁ phase produces — U's panel rows,
+// unit-L's panel columns — so the U₁₂ substitution and the trailing-update
+// array passes that follow are shared between the policies untouched.
+// Exact singularity (a whole candidate column of zeros) returns
+// *SingularError with the global column index, same as the unpivoted
+// zero-pivot path.
+func (ws *Workspace) pivotPanel(k0, k1 int) error {
+	work, lf, uf := ws.work, ws.l, ws.u
+	n := work.Rows()
+	stats := &ws.lu
+	for j := k0; j < k1; j++ {
+		p, best := j, math.Abs(work.At(j, j))
+		for i := j + 1; i < n; i++ {
+			if v := math.Abs(work.At(i, j)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return &SingularError{Op: "solve.BlockLU", Index: j}
+		}
+		if p != j {
+			rp, rj := work.RawRow(p), work.RawRow(j)
+			for t := range rp {
+				rp[t], rj[t] = rj[t], rp[t]
+			}
+			lp, lj := lf.RawRow(p), lf.RawRow(j)
+			for t := 0; t < j; t++ {
+				lp[t], lj[t] = lj[t], lp[t]
+			}
+			ws.perm[p], ws.perm[j] = ws.perm[j], ws.perm[p]
+			stats.RowSwaps++
+		}
+		piv := work.At(j, j)
+		for t := j; t < k1; t++ {
+			uf.Set(j, t, work.At(j, t))
+		}
+		lf.Set(j, j, 1)
+		for i := j + 1; i < n; i++ {
+			m := work.At(i, j) / piv
+			stats.HostOps++
+			lf.Set(i, j, m)
+			for t := j + 1; t < k1; t++ {
+				work.Set(i, t, work.At(i, t)-m*work.At(j, t))
+				stats.HostOps += 2
+			}
+		}
+	}
+	return nil
+}
+
 // submitTile enqueues one trailing tile on the executor. It lives outside
 // the elimination loop so the task closure's captures never force the
 // loop's locals onto the heap on the serial path.
@@ -237,8 +318,18 @@ func (ws *Workspace) Solve(a *matrix.Dense, d matrix.Vector, opts Options) (matr
 	if err != nil {
 		return nil, nil, err
 	}
+	// Under pivoting the factorization is P·A = L·U, so the forward phase
+	// consumes P·d — one host-side gather through the recorded permutation.
+	rhs := d
+	if len(luStats.Perm) != 0 {
+		ws.dperm = matrix.ReuseVec(ws.dperm, n)
+		for i, pi := range luStats.Perm {
+			ws.dperm[i] = d[pi]
+		}
+		rhs = ws.dperm
+	}
 	ws.fwX = matrix.ReuseVec(ws.fwX, n)
-	fw, err := ws.tri.SolveLowerInto(ws.fwX, lf, d, opts.Engine)
+	fw, err := ws.tri.SolveLowerInto(ws.fwX, lf, rhs, opts.Engine)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -254,6 +345,11 @@ func (ws *Workspace) Solve(a *matrix.Dense, d matrix.Vector, opts Options) (matr
 		MatVecSteps:  fw.MatVecSteps + bw.MatVecSteps,
 		MatVecPasses: fw.MatVecPasses + bw.MatVecPasses,
 		Residual:     residual(a, ws.x, d),
+	}
+	if opts.Refine.MaxIters > 0 {
+		if err := ws.refine(a, d, opts); err != nil {
+			return nil, nil, err
+		}
 	}
 	return ws.x, &ws.stats, nil
 }

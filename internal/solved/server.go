@@ -3,18 +3,20 @@
 // typed failure surface into status codes a load balancer or client
 // library can act on without parsing bodies.
 //
-//	POST /solve  {"a": [[...],...], "d": [...], "w": 4, ...}  →  {"x": [...], "stats": {...}}
-//	GET  /stats                                               →  per-shard queue depths + stream counters
+//	POST /solve   {"a": [[...],...], "d": [...], "w": 4, ...}  →  {"x": [...], "stats": {...}}
+//	GET  /stats                                                →  queue depths + per-shard EWMA + stream counters
+//	GET  /healthz                                              →  {"status":"ok","shards":N} liveness probe
 //
 // The mapping is exact: queue saturation (stream.ErrSaturated) returns
 // 429 with a Retry-After header, deadline failures — shed at admission or
 // expired while queued (stream.ErrDeadlineExceeded) — return 504, a
 // singular system (*solve.SingularError) returns 422 with the pivot index,
-// malformed requests return 400, a closed stream returns 503, anything
-// else (a recovered job panic, say) returns 500. The handler holds no
-// state of its own beyond the scheduler: every request is one ticket,
-// submitted with the request's QoS and redeemed before the response is
-// written.
+// an unconverged refinement (*solve.IllConditionedError) returns 422 with
+// the condition report, malformed requests return 400, a closed stream
+// returns 503, anything else (a recovered job panic, say) returns 500. The
+// handler holds no state of its own beyond the scheduler: every request is
+// one ticket, submitted with the request's QoS and redeemed before the
+// response is written.
 package solved
 
 import (
@@ -49,6 +51,24 @@ type Request struct {
 	// Priority selects the admission class: "high" (or empty) blocks for
 	// queue space, "low" is shed first under pressure.
 	Priority string `json:"priority,omitempty"`
+	// Pivot selects the factorization's pivot policy: "none" (or empty)
+	// requires nonsingular leading minors, "partial" row-pivots and solves
+	// any nonsingular system.
+	Pivot string `json:"pivot,omitempty"`
+	// Refine, when present, runs iterative refinement after the direct
+	// solve; a refinement that fails to converge returns 422 with the
+	// condition report instead of an unconverged solution.
+	Refine *RefineRequest `json:"refine,omitempty"`
+}
+
+// RefineRequest is the optional iterative-refinement block of a Request.
+type RefineRequest struct {
+	// MaxIters caps the refinement cycles (must be > 0 when the block is
+	// present).
+	MaxIters int `json:"max_iters"`
+	// Tol, when > 0, is the absolute ‖A·x−d‖∞ convergence target; 0 takes
+	// the solver's scaled machine-precision default.
+	Tol float64 `json:"tol,omitempty"`
 }
 
 // Response is the 200 body of POST /solve.
@@ -66,6 +86,17 @@ type ErrorResponse struct {
 	// PivotIndex is the zero pivot's index on a 422 (singular system)
 	// response, absent otherwise.
 	PivotIndex *int `json:"pivot_index,omitempty"`
+	// Condition is the refinement's condition report on a 422
+	// (ill-conditioned system) response, absent otherwise.
+	Condition *solve.ConditionReport `json:"condition,omitempty"`
+}
+
+// HealthResponse is the 200 body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" while the facade is serving.
+	Status string `json:"status"`
+	// Shards is the scheduler's shard count.
+	Shards int `json:"shards"`
 }
 
 // StatsResponse is the GET /stats body: the stream's admission/failure
@@ -78,6 +109,10 @@ type StatsResponse struct {
 	Stream stream.Stats `json:"stream"`
 	// QueueDepths[i] is shard i's current queued-job count.
 	QueueDepths []int `json:"queue_depths"`
+	// ServiceEWMAMS[i] is shard i's exponentially-weighted moving average
+	// service time in milliseconds — the signal deadline admission shedding
+	// works from. 0 until the shard completes its first job.
+	ServiceEWMAMS []float64 `json:"service_ewma_ms"`
 }
 
 // Config wires a Server. Stream is required; the rest defaults.
@@ -116,6 +151,7 @@ func New(cfg Config) *Server {
 	srv.mux = http.NewServeMux()
 	srv.mux.HandleFunc("/solve", srv.handleSolve)
 	srv.mux.HandleFunc("/stats", srv.handleStats)
+	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
 	return srv
 }
 
@@ -188,8 +224,29 @@ func (srv *Server) handleSolve(rw http.ResponseWriter, req *http.Request) {
 	if body.TimeoutMS > 0 {
 		q.Deadline = time.Now().Add(time.Duration(body.TimeoutMS) * time.Millisecond)
 	}
+	opts := solve.Options{Engine: eng}
+	switch body.Pivot {
+	case "", "none":
+		opts.Pivot = solve.PivotNone
+	case "partial":
+		opts.Pivot = solve.PivotPartial
+	default:
+		writeError(rw, http.StatusBadRequest, fmt.Errorf("solved: unknown pivot policy %q", body.Pivot))
+		return
+	}
+	if body.Refine != nil {
+		if body.Refine.MaxIters < 1 {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("solved: refine.max_iters must be positive, got %d", body.Refine.MaxIters))
+			return
+		}
+		if body.Refine.Tol < 0 {
+			writeError(rw, http.StatusBadRequest, fmt.Errorf("solved: refine.tol must be non-negative, got %g", body.Refine.Tol))
+			return
+		}
+		opts.Refine = solve.RefineOptions{MaxIters: body.Refine.MaxIters, Tol: body.Refine.Tol}
+	}
 
-	tk, err := srv.s.SubmitSolveQoS(matrix.FromRows(body.A), body.D, w, eng, q)
+	tk, err := srv.s.SubmitSolveOpts(matrix.FromRows(body.A), body.D, w, opts, q)
 	var x matrix.Vector
 	var stats *solve.SolveStats
 	if err == nil {
@@ -210,16 +267,30 @@ func (srv *Server) handleStats(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	depths := make([]int, srv.s.Shards())
+	ewma := make([]float64, srv.s.Shards())
 	for i := range depths {
 		depths[i] = srv.s.QueueDepth(i)
+		ewma[i] = float64(srv.s.ServiceEWMA(i)) / float64(time.Millisecond)
 	}
-	writeJSON(rw, http.StatusOK, StatsResponse{Stream: srv.s.Stats(), QueueDepths: depths})
+	writeJSON(rw, http.StatusOK, StatsResponse{Stream: srv.s.Stats(), QueueDepths: depths, ServiceEWMAMS: ewma})
+}
+
+// handleHealthz is GET /healthz: a cheap liveness probe for load
+// balancers — it reads one scheduler accessor and never touches a queue.
+func (srv *Server) handleHealthz(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		rw.Header().Set("Allow", http.MethodGet)
+		writeError(rw, http.StatusMethodNotAllowed, fmt.Errorf("solved: %s not allowed on /healthz", req.Method))
+		return
+	}
+	writeJSON(rw, http.StatusOK, HealthResponse{Status: "ok", Shards: srv.s.Shards()})
 }
 
 // writeFailure maps a submit or ticket error onto the facade's status
 // table; see the package comment.
 func (srv *Server) writeFailure(rw http.ResponseWriter, err error) {
 	var serr *solve.SingularError
+	var cerr *solve.IllConditionedError
 	switch {
 	case errors.Is(err, stream.ErrSaturated):
 		secs := int((srv.retryAfter + time.Second - 1) / time.Second)
@@ -230,6 +301,9 @@ func (srv *Server) writeFailure(rw http.ResponseWriter, err error) {
 	case errors.As(err, &serr):
 		idx := serr.Index
 		writeJSON(rw, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), PivotIndex: &idx})
+	case errors.As(err, &cerr):
+		rep := cerr.Report
+		writeJSON(rw, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), Condition: &rep})
 	case errors.Is(err, stream.ErrClosed):
 		writeError(rw, http.StatusServiceUnavailable, err)
 	default:

@@ -109,6 +109,94 @@ func TestSolveEndpoint422Singular(t *testing.T) {
 	}
 }
 
+// TestSolveEndpointPivotRefine200: a row-scrambled system that is singular
+// under no-pivoting solves to 200 with "pivot":"partial" plus a refine
+// block, bit-identical to the serial pivoted+refined solve — permutation,
+// row-swap count and condition report survive the JSON round-trip.
+func TestSolveEndpointPivotRefine200(t *testing.T) {
+	ts, _ := newTestServer(t, stream.Config{Shards: 2})
+	rows := [][]float64{
+		{0, 2, 1, 0},
+		{4, 1, 0, 1},
+		{1, 0, 5, 2},
+		{0, 1, 2, 6},
+	}
+	d := []float64{1, 2, 3, 4}
+	a := matrix.FromRows(rows)
+
+	// The leading zero makes the unpivoted path fail typed...
+	var bad ErrorResponse
+	if resp := postSolve(t, ts, Request{A: rows, D: d, W: 2}, &bad); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unpivoted status %d, want 422", resp.StatusCode)
+	}
+
+	// ...and the pivoted+refined path solve it exactly like serial.
+	req := Request{A: rows, D: d, W: 2, Engine: "compiled", Pivot: "partial", Refine: &RefineRequest{MaxIters: 3}}
+	var got Response
+	if resp := postSolve(t, ts, req, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pivoted status %d, want 200", resp.StatusCode)
+	}
+	opts := solve.Options{
+		Engine: core.EngineCompiled,
+		Pivot:  solve.PivotPartial,
+		Refine: solve.RefineOptions{MaxIters: 3},
+	}
+	wantX, wantStats, err := solve.Solve(a, d, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(matrix.Vector(got.X), wantX) || !reflect.DeepEqual(got.Stats, *wantStats) {
+		t.Errorf("HTTP pivoted solve diverged from serial:\n got %+v\nwant %+v", got.Stats, *wantStats)
+	}
+	if got.Stats.LU.RowSwaps == 0 || len(got.Stats.LU.Perm) != 4 {
+		t.Errorf("stats %+v, want a nontrivial recorded permutation", got.Stats.LU)
+	}
+	if !got.Stats.Refine.Converged {
+		t.Errorf("refine report %+v, want converged", got.Stats.Refine)
+	}
+}
+
+// TestSolveEndpoint422IllConditioned: a refinement that cannot reach its
+// tolerance within budget returns 422 carrying the condition report — the
+// *solve.IllConditionedError surfaced as JSON, distinct from the singular
+// 422 (which carries pivot_index instead).
+func TestSolveEndpoint422IllConditioned(t *testing.T) {
+	ts, _ := newTestServer(t, stream.Config{Shards: 1})
+	rng := rand.New(rand.NewSource(815))
+	a := matrix.RandomDense(rng, 6, 6, 2)
+	rows := make([][]float64, 6)
+	d := make([]float64, 6)
+	for i := range rows {
+		a.Set(i, i, 25)
+		rows[i] = make([]float64, 6)
+		for j := range rows[i] {
+			rows[i][j] = a.At(i, j)
+		}
+		d[i] = float64(i + 1)
+	}
+	var got ErrorResponse
+	resp := postSolve(t, ts, Request{
+		A: rows, D: d, W: 2,
+		Pivot:  "partial",
+		Refine: &RefineRequest{MaxIters: 2, Tol: 1e-300},
+	}, &got)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+	if got.Condition == nil {
+		t.Fatalf("response %+v carries no condition report", got)
+	}
+	if got.Condition.Converged || got.Condition.Iters != 2 || got.Condition.ResidualNorm <= 0 {
+		t.Errorf("condition report %+v, want 2 unconverged iterations with a positive residual", *got.Condition)
+	}
+	if got.PivotIndex != nil {
+		t.Error("ill-conditioned 422 carries a pivot_index; that field is the singular 422's")
+	}
+	if got.Error == "" {
+		t.Error("422 response carries no error message")
+	}
+}
+
 // TestSolveEndpoint429Saturated: saturation (forced by an always-shedding
 // injector) returns 429 with a Retry-After header.
 func TestSolveEndpoint429Saturated(t *testing.T) {
@@ -167,12 +255,15 @@ func TestSolveEndpoint400(t *testing.T) {
 	}
 	cases := []Request{
 		{A: nil, D: nil}, // empty system
-		{A: [][]float64{{1, 2}, {3}}, D: []float64{1, 2}},          // ragged
-		{A: [][]float64{{1, 2}}, D: []float64{1}},                  // not square
-		{A: [][]float64{{2}}, D: []float64{1, 2}},                  // len(d) mismatch
-		{A: [][]float64{{2}}, D: []float64{1}, W: -1},              // bad w
-		{A: [][]float64{{2}}, D: []float64{1}, Engine: "quantum"},  // bad engine
-		{A: [][]float64{{2}}, D: []float64{1}, Priority: "urgent"}, // bad priority
+		{A: [][]float64{{1, 2}, {3}}, D: []float64{1, 2}},                                        // ragged
+		{A: [][]float64{{1, 2}}, D: []float64{1}},                                                // not square
+		{A: [][]float64{{2}}, D: []float64{1, 2}},                                                // len(d) mismatch
+		{A: [][]float64{{2}}, D: []float64{1}, W: -1},                                            // bad w
+		{A: [][]float64{{2}}, D: []float64{1}, Engine: "quantum"},                                // bad engine
+		{A: [][]float64{{2}}, D: []float64{1}, Priority: "urgent"},                               // bad priority
+		{A: [][]float64{{2}}, D: []float64{1}, Pivot: "complete"},                                // bad pivot policy
+		{A: [][]float64{{2}}, D: []float64{1}, Refine: &RefineRequest{MaxIters: 0}},              // empty refine budget
+		{A: [][]float64{{2}}, D: []float64{1}, Refine: &RefineRequest{MaxIters: 2, Tol: -1e-12}}, // negative tolerance
 	}
 	for i, c := range cases {
 		var got ErrorResponse
@@ -241,6 +332,53 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if got.Stream.Submitted != 4 || got.Stream.Completed != 4 {
 		t.Errorf("stream counters %+v, want 4 submitted and completed", got.Stream)
+	}
+	if got.Stream.Expired != 0 || got.Stream.Panics != 0 {
+		t.Errorf("stream counters %+v, want 0 expired and panics on clean traffic", got.Stream)
+	}
+	if len(got.ServiceEWMAMS) != s.Shards() {
+		t.Fatalf("service_ewma_ms has %d entries, want %d", len(got.ServiceEWMAMS), s.Shards())
+	}
+	warm := 0
+	for i, ms := range got.ServiceEWMAMS {
+		if ms < 0 {
+			t.Errorf("shard %d EWMA %g ms is negative", i, ms)
+		}
+		if ms > 0 {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Error("no shard reports a warm service EWMA after 4 solves")
+	}
+}
+
+// TestHealthzEndpoint: GET /healthz is a cheap 200 liveness probe
+// reporting the shard count; other methods get 405.
+func TestHealthzEndpoint(t *testing.T) {
+	ts, s := newTestServer(t, stream.Config{Shards: 2})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d, want 200", resp.StatusCode)
+	}
+	var got HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "ok" || got.Shards != s.Shards() {
+		t.Errorf("health %+v, want ok with %d shards", got, s.Shards())
+	}
+	presp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed || presp.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST /healthz: status %d Allow %q, want 405 with Allow: GET", presp.StatusCode, presp.Header.Get("Allow"))
 	}
 }
 

@@ -292,6 +292,46 @@ func TestSubmitWithRetry(t *testing.T) {
 			t.Fatalf("err=%v calls=%d, want ErrClosed after 1 attempt", err, calls)
 		}
 	})
+	t.Run("context cancellation interrupts the backoff sleep", func(t *testing.T) {
+		// Base of a minute: if cancellation did not interrupt the sleep
+		// (the old behavior), this test would hang for ~30–60s.
+		ctx, cancel := context.WithCancel(context.Background())
+		calls := 0
+		start := time.Now()
+		err := SubmitWithRetryContext(ctx, Retry{Base: time.Minute, Cap: time.Minute}, time.Time{}, func() error {
+			calls++
+			cancel()
+			return ErrSaturated
+		})
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("cancelled retry still slept %v", elapsed)
+		}
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrSaturated) || calls != 1 {
+			t.Fatalf("err=%v calls=%d, want context.Canceled wrapping ErrSaturated after 1 attempt", err, calls)
+		}
+	})
+	t.Run("already-cancelled context never submits", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		calls := 0
+		err := SubmitWithRetryContext(ctx, Retry{}, time.Time{}, func() error {
+			calls++
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) || calls != 0 {
+			t.Fatalf("err=%v calls=%d, want context.Canceled before any attempt", err, calls)
+		}
+	})
+	t.Run("context deadline surfaces as context.DeadlineExceeded", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		defer cancel()
+		err := SubmitWithRetryContext(ctx, Retry{Base: 50 * time.Millisecond, Cap: 50 * time.Millisecond}, time.Time{}, func() error {
+			return ErrSaturated
+		})
+		if !errors.Is(err, context.DeadlineExceeded) || !errors.Is(err, ErrSaturated) {
+			t.Fatalf("err=%v, want context.DeadlineExceeded wrapping ErrSaturated", err)
+		}
+	})
 	t.Run("integrates with a saturated scheduler", func(t *testing.T) {
 		s := New(Config{Shards: 1, QueueBound: 1, Policy: Shed})
 		defer s.Close()

@@ -29,10 +29,12 @@ const (
 // without allocating. A job implements core.Pass and runs on the shard's
 // goroutine with the shard's arena.
 type job struct {
-	s    *Scheduler
-	kind jobKind
-	w    int
-	eng  core.Engine
+	s      *Scheduler
+	kind   jobKind
+	w      int
+	eng    core.Engine
+	pivot  solve.PivotPolicy
+	refine solve.RefineOptions
 
 	// Admission state: sequence number (injector determinism), QoS.
 	seq      uint64
@@ -108,23 +110,31 @@ func (j *job) RunPass(worker int, ar *core.Arena) {
 		j.steps, j.err = j.sp.PassInto(ar, j.dst, j.x, j.b, j.eng)
 	case solveFull:
 		ws := arenaSolveWorkspace(ar, j.w)
-		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng})
+		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng, Pivot: j.pivot, Refine: j.refine})
 		if err != nil {
 			j.err = err
 		} else {
 			// x and stats are workspace-owned; the full-result ticket hands
-			// the caller fresh copies, like the other full-result kinds.
+			// the caller fresh copies, like the other full-result kinds —
+			// the pivot permutation included (it aliases the workspace the
+			// next solve on this shard will scribble on).
 			j.svx = append(matrix.Vector(nil), x...)
 			j.svstats = *stats
+			j.svstats.LU.Perm = append([]int(nil), stats.LU.Perm...)
 		}
 	case solvePass:
 		ws := arenaSolveWorkspace(ar, j.w)
-		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng})
+		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng, Pivot: j.pivot, Refine: j.refine})
 		if err != nil {
 			j.err = err
 		} else {
 			copy(j.dst, x)
 			j.svstats = *stats
+			// The zero-alloc pass path cannot hand out a copy of the
+			// workspace-owned permutation and must not alias it (the pooled
+			// workspace outlives the ticket); RowSwaps still reports the
+			// pivoting work — use SubmitSolve for the full permutation.
+			j.svstats.LU.Perm = nil
 		}
 	}
 	j.s.observe(worker, time.Since(start))

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -36,6 +37,22 @@ type Retry struct {
 //		return err
 //	})
 func SubmitWithRetry(r Retry, deadline time.Time, submit func() error) error {
+	return submitWithRetry(context.Background(), r, deadline, submit)
+}
+
+// SubmitWithRetryContext is SubmitWithRetry bounded by a context as well:
+// cancellation interrupts a backoff sleep immediately — a cancelled caller
+// never sleeps out the rest of a jittered backoff — and is checked before
+// each attempt. A cancelled loop returns the context's error (matched by
+// errors.Is against context.Canceled or context.DeadlineExceeded) wrapped
+// with the last submission error when there was one.
+func SubmitWithRetryContext(ctx context.Context, r Retry, deadline time.Time, submit func() error) error {
+	return submitWithRetry(ctx, r, deadline, submit)
+}
+
+// submitWithRetry is the shared retry loop; the background context makes
+// it exactly the historical SubmitWithRetry behavior.
+func submitWithRetry(ctx context.Context, r Retry, deadline time.Time, submit func() error) error {
 	if r.Base <= 0 {
 		r.Base = 100 * time.Microsecond
 	}
@@ -44,6 +61,9 @@ func SubmitWithRetry(r Retry, deadline time.Time, submit func() error) error {
 	}
 	backoff := r.Base
 	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stream: retry cancelled before attempt %d: %w", attempt, err)
+		}
 		err := submit()
 		if err == nil || !errors.Is(err, ErrSaturated) {
 			return err
@@ -57,7 +77,13 @@ func SubmitWithRetry(r Retry, deadline time.Time, submit func() error) error {
 		if !deadline.IsZero() && time.Now().Add(sleep).After(deadline) {
 			return fmt.Errorf("stream: retry gave up after %d attempts: %w: %w", attempt, ErrDeadlineExceeded, err)
 		}
-		time.Sleep(sleep)
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("stream: retry cancelled after %d attempts: %w: %w", attempt, ctx.Err(), err)
+		case <-timer.C:
+		}
 		if backoff *= 2; backoff > r.Cap {
 			backoff = r.Cap
 		}

@@ -55,6 +55,25 @@ func validateSolve(a *matrix.Dense, d matrix.Vector, w int) error {
 	return nil
 }
 
+// validateSolveOpts extends validateSolve with the option combinations the
+// stream cannot honor, so they fail at Submit instead of poisoning a
+// ticket.
+func validateSolveOpts(a *matrix.Dense, d matrix.Vector, w int, opts solve.Options) error {
+	if err := validateSolve(a, d, w); err != nil {
+		return err
+	}
+	if opts.Executor != nil {
+		return fmt.Errorf("stream: solve options must not carry an executor (a stream job cannot block on one backed by its own scheduler)")
+	}
+	if opts.Pivot != solve.PivotNone && opts.Pivot != solve.PivotPartial {
+		return fmt.Errorf("stream: unknown pivot policy %d", int(opts.Pivot))
+	}
+	if opts.Refine.MaxIters < 0 {
+		return fmt.Errorf("stream: negative refinement budget %d", opts.Refine.MaxIters)
+	}
+	return nil
+}
+
 // SolveTicket is the one-shot future of a SubmitSolve job.
 type SolveTicket struct{ j *job }
 
@@ -105,13 +124,26 @@ func (s *Scheduler) SubmitSolve(a *matrix.Dense, d matrix.Vector, w int, eng cor
 // SubmitSolveQoS is SubmitSolve with a deadline and priority class
 // attached; see QoS for the admission semantics.
 func (s *Scheduler) SubmitSolveQoS(a *matrix.Dense, d matrix.Vector, w int, eng core.Engine, q QoS) (SolveTicket, error) {
-	if err := validateSolve(a, d, w); err != nil {
+	return s.SubmitSolveOpts(a, d, w, solve.Options{Engine: eng}, q)
+}
+
+// SubmitSolveOpts is SubmitSolve with the full solver options — engine,
+// pivot policy, iterative refinement — plus a QoS class: the stream face
+// of solve.Options. Pivoted and refined solves route, pool and admit
+// exactly like plain ones (the options ride in the pooled job); a
+// refinement that fails to converge resolves the ticket with the typed
+// *solve.IllConditionedError carrying its ConditionReport, never an
+// unconverged solution. opts.Executor must be nil — a stream job cannot
+// block on an executor backed by its own scheduler.
+func (s *Scheduler) SubmitSolveOpts(a *matrix.Dense, d matrix.Vector, w int, opts solve.Options, q QoS) (SolveTicket, error) {
+	if err := validateSolveOpts(a, d, w, opts); err != nil {
 		return SolveTicket{}, err
 	}
 	j := s.get(q)
-	j.kind, j.w, j.eng = solveFull, w, eng
+	j.kind, j.w, j.eng = solveFull, w, opts.Engine
+	j.pivot, j.refine = opts.Pivot, opts.Refine
 	j.a, j.b = a, d
-	if err := s.enqueue(j, shardOf(s.fleet.Shards(), solveFull, w, a.Rows(), a.Cols(), int(eng))); err != nil {
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), solveFull, w, a.Rows(), a.Cols(), int(opts.Engine))); err != nil {
 		return SolveTicket{}, err
 	}
 	return SolveTicket{j}, nil
@@ -132,16 +164,30 @@ func (s *Scheduler) SubmitSolveInto(dst matrix.Vector, a *matrix.Dense, d matrix
 // zero-allocation guarantee holds under QoS too: deadlines ride in the
 // pooled job.
 func (s *Scheduler) SubmitSolveIntoQoS(dst matrix.Vector, a *matrix.Dense, d matrix.Vector, w int, eng core.Engine, q QoS) (SolvePassTicket, error) {
-	if err := validateSolve(a, d, w); err != nil {
+	return s.SubmitSolveIntoOpts(dst, a, d, w, solve.Options{Engine: eng}, q)
+}
+
+// SubmitSolveIntoOpts is SubmitSolveInto with the full solver options —
+// engine, pivot policy, iterative refinement — plus a QoS class. The
+// warm-shard zero-allocation guarantee holds with pivoting and refinement
+// enabled (both ride in the pooled job and the shard workspace's reused
+// buffers). One consequence: the returned stats report the pivoting work
+// as LU.RowSwaps but carry a nil LU.Perm — the permutation slice is owned
+// by the pooled shard workspace and handing it out would alias the next
+// solve; use SubmitSolveOpts when the permutation itself is needed.
+// opts.Executor must be nil, as on SubmitSolveOpts.
+func (s *Scheduler) SubmitSolveIntoOpts(dst matrix.Vector, a *matrix.Dense, d matrix.Vector, w int, opts solve.Options, q QoS) (SolvePassTicket, error) {
+	if err := validateSolveOpts(a, d, w, opts); err != nil {
 		return SolvePassTicket{}, err
 	}
 	if len(dst) != a.Rows() {
 		return SolvePassTicket{}, fmt.Errorf("stream: dst len %d, want %d", len(dst), a.Rows())
 	}
 	j := s.get(q)
-	j.kind, j.w, j.eng = solvePass, w, eng
+	j.kind, j.w, j.eng = solvePass, w, opts.Engine
+	j.pivot, j.refine = opts.Pivot, opts.Refine
 	j.dst, j.a, j.b = dst, a, d
-	if err := s.enqueue(j, shardOf(s.fleet.Shards(), solvePass, w, a.Rows(), a.Cols(), int(eng))); err != nil {
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), solvePass, w, a.Rows(), a.Cols(), int(opts.Engine))); err != nil {
 		return SolvePassTicket{}, err
 	}
 	return SolvePassTicket{j}, nil

@@ -30,30 +30,55 @@ func ddSystem(rng *rand.Rand, n int) (*matrix.Dense, matrix.Vector) {
 	return a, matrix.RandomVector(rng, n, 5)
 }
 
+// permuteRows scrambles a system's rows in place-equivalent copies, so a
+// well-conditioned matrix needs pivoting to factor.
+func permuteRows(rng *rand.Rand, a *matrix.Dense, d matrix.Vector) (*matrix.Dense, matrix.Vector) {
+	n := a.Rows()
+	p := rng.Perm(n)
+	pa := matrix.NewDense(n, n)
+	pd := make(matrix.Vector, n)
+	for i, pi := range p {
+		for j := 0; j < n; j++ {
+			pa.Set(i, j, a.At(pi, j))
+		}
+		pd[i] = d[pi]
+	}
+	return pa, pd
+}
+
 // solveCase is one streamed direct solve with its serial reference.
 type solveCase struct {
 	a    *matrix.Dense
 	d    matrix.Vector
 	w    int
-	eng  core.Engine
+	opts solve.Options
 	x    matrix.Vector
 	want *solve.SolveStats
 }
 
 // solveCases draws a case set with deliberate size repeats (the affinity
-// and warm-workspace path) across both engines, solving each with the
-// serial one-shot solve.Solve for the reference.
+// and warm-workspace path) across both engines and both pivot policies
+// (row-scrambled systems for the pivoted cases, so the permutation is
+// nontrivial), with refinement sprinkled in, solving each with the serial
+// one-shot solve.Solve for the reference.
 func solveCases(t *testing.T, rng *rand.Rand, count int) []solveCase {
 	t.Helper()
 	sizes := []int{4, 6, 9, 4, 6} // recycled → same shard, warm workspace
 	var cases []solveCase
 	for i := 0; i < count; i++ {
-		c := solveCase{w: 2 + i%2, eng: core.EngineCompiled}
+		c := solveCase{w: 2 + i%2, opts: solve.Options{Engine: core.EngineCompiled}}
 		if i%3 == 0 {
-			c.eng = core.EngineOracle
+			c.opts.Engine = core.EngineOracle
 		}
 		c.a, c.d = ddSystem(rng, sizes[i%len(sizes)])
-		x, stats, err := solve.Solve(c.a, c.d, c.w, solve.Options{Engine: c.eng})
+		if i%2 == 1 {
+			c.opts.Pivot = solve.PivotPartial
+			c.a, c.d = permuteRows(rng, c.a, c.d)
+		}
+		if i%4 == 3 {
+			c.opts.Refine = solve.RefineOptions{MaxIters: 3}
+		}
+		x, stats, err := solve.Solve(c.a, c.d, c.w, c.opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,12 +88,14 @@ func solveCases(t *testing.T, rng *rand.Rand, count int) []solveCase {
 	return cases
 }
 
-// TestSolveStreamMatrix is the solve-ticket equivalence matrix of ISSUE 7:
-// streamed full direct solves over engines {oracle, compiled} × shards
-// {1, 2, NumCPU} × policies {Block, Shed} return solutions AND stats (LU,
-// triangular and matvec pass accounting, residual — the per-PE work of
-// every array pass) DeepEqual to the serial one-shot solve.Solve, on both
-// the full-result and the Into ticket variants.
+// TestSolveStreamMatrix is the solve-ticket equivalence matrix of ISSUE 7,
+// extended by ISSUE 8 with pivoting and refinement: streamed full direct
+// solves over engines {oracle, compiled} × pivot policies {None, Partial}
+// × shards {1, 2, NumCPU} × admission policies {Block, Shed} return
+// solutions AND stats (LU, pivot permutation, triangular and matvec pass
+// accounting, refinement report, residual) DeepEqual to the serial
+// one-shot solve.Solve, on both the full-result and the Into ticket
+// variants (the Into stats carry a nil Perm by contract).
 func TestSolveStreamMatrix(t *testing.T) {
 	rng := rand.New(rand.NewSource(786))
 	cases := solveCases(t, rng, 30)
@@ -82,14 +109,14 @@ func TestSolveStreamMatrix(t *testing.T) {
 				dsts := make([]matrix.Vector, len(cases))
 				for i, c := range cases {
 					var err error
-					full[i], err = s.SubmitSolve(c.a, c.d, c.w, c.eng)
+					full[i], err = s.SubmitSolveOpts(c.a, c.d, c.w, c.opts, QoS{})
 					if err != nil {
-						t.Fatalf("SubmitSolve %d: %v", i, err)
+						t.Fatalf("SubmitSolveOpts %d: %v", i, err)
 					}
 					dsts[i] = make(matrix.Vector, len(c.d))
-					into[i], err = s.SubmitSolveInto(dsts[i], c.a, c.d, c.w, c.eng)
+					into[i], err = s.SubmitSolveIntoOpts(dsts[i], c.a, c.d, c.w, c.opts, QoS{})
 					if err != nil {
-						t.Fatalf("SubmitSolveInto %d: %v", i, err)
+						t.Fatalf("SubmitSolveIntoOpts %d: %v", i, err)
 					}
 				}
 				s.Flush()
@@ -99,14 +126,16 @@ func TestSolveStreamMatrix(t *testing.T) {
 						t.Fatalf("case %d: %v", i, err)
 					}
 					if !reflect.DeepEqual(x, c.x) || !reflect.DeepEqual(stats, c.want) {
-						t.Errorf("case %d (n=%d w=%d %v): stream solve diverged from serial", i, c.a.Rows(), c.w, c.eng)
+						t.Errorf("case %d (n=%d w=%d %+v): stream solve diverged from serial", i, c.a.Rows(), c.w, c.opts)
 					}
 					istats, err := into[i].Wait()
 					if err != nil {
 						t.Fatalf("case %d Into: %v", i, err)
 					}
-					if !reflect.DeepEqual(dsts[i], c.x) || !reflect.DeepEqual(istats, *c.want) {
-						t.Errorf("case %d (n=%d w=%d %v): Into solve diverged from serial", i, c.a.Rows(), c.w, c.eng)
+					wantInto := *c.want
+					wantInto.LU.Perm = nil
+					if !reflect.DeepEqual(dsts[i], c.x) || !reflect.DeepEqual(istats, wantInto) {
+						t.Errorf("case %d (n=%d w=%d %+v): Into solve diverged from serial", i, c.a.Rows(), c.w, c.opts)
 					}
 				}
 				st := s.Stats()
@@ -148,7 +177,7 @@ func TestSolveChaos(t *testing.T) {
 					// corrupt the result, only ever fail it typed.
 					q.Deadline = time.Now().Add(time.Minute)
 				}
-				tk, err := s.SubmitSolveQoS(c.a, c.d, c.w, c.eng, q)
+				tk, err := s.SubmitSolveOpts(c.a, c.d, c.w, c.opts, q)
 				if err != nil {
 					t.Fatalf("submit %d: %v", i, err)
 				}
@@ -193,7 +222,7 @@ func TestSolveChaos(t *testing.T) {
 
 			// The fleet survived: a clean follow-up solve still serves.
 			c := cases[0]
-			tk, err := s.SubmitSolve(c.a, c.d, c.w, c.eng)
+			tk, err := s.SubmitSolveOpts(c.a, c.d, c.w, c.opts, QoS{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -210,7 +239,7 @@ func TestSolveChaos(t *testing.T) {
 				if !errors.Is(err, core.ErrPanicked) {
 					t.Fatalf("post-chaos solve: %v", err)
 				}
-				if tk, err = s.SubmitSolve(c.a, c.d, c.w, c.eng); err != nil {
+				if tk, err = s.SubmitSolveOpts(c.a, c.d, c.w, c.opts, QoS{}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -248,7 +277,7 @@ func TestSolveStreamExpiry(t *testing.T) {
 		if !errors.As(werr, &derr) || !derr.Expired {
 			t.Fatalf("expired ticket error %#v, want *DeadlineError{Expired: true}", werr)
 		}
-		if stats != (solve.SolveStats{}) {
+		if !reflect.DeepEqual(stats, solve.SolveStats{}) {
 			t.Errorf("expired ticket leaked stats %+v", stats)
 		}
 	}
@@ -329,6 +358,75 @@ func TestSolveStreamSingular(t *testing.T) {
 	}
 }
 
+// TestSolveStreamIllConditioned: a refinement budget too tight for the
+// requested tolerance resolves the ticket with the typed
+// *solve.IllConditionedError and its ConditionReport — never an
+// unconverged solution — and the shard keeps serving afterwards.
+func TestSolveStreamIllConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(815))
+	a, d := ddSystem(rng, 6)
+	// An unreachable absolute tolerance forces the refinement loop to
+	// exhaust its budget deterministically (the seed gives a nonzero
+	// floating-point residual at every iteration).
+	opts := solve.Options{
+		Engine: core.EngineCompiled,
+		Pivot:  solve.PivotPartial,
+		Refine: solve.RefineOptions{MaxIters: 2, Tol: 1e-300},
+	}
+	s := New(Config{Shards: 2})
+	defer s.Close()
+
+	tk, err := s.SubmitSolveOpts(a, d, 2, opts, QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, stats, werr := tk.Wait()
+	var cerr *solve.IllConditionedError
+	if !errors.As(werr, &cerr) {
+		t.Fatalf("unconverged refinement returned %v, want *solve.IllConditionedError", werr)
+	}
+	if !errors.Is(werr, solve.ErrIllConditioned) {
+		t.Error("ill-conditioned error does not match the solve.ErrIllConditioned sentinel")
+	}
+	if cerr.Report.Converged || cerr.Report.Iters != 2 || cerr.Report.ResidualNorm <= 0 {
+		t.Errorf("condition report %+v, want 2 unconverged iterations with a positive residual", cerr.Report)
+	}
+	if x != nil || stats != nil {
+		t.Error("ill-conditioned ticket leaked a result")
+	}
+
+	dst := matrix.Vector{math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	itk, err := s.SubmitSolveIntoOpts(dst, a, d, 2, opts, QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := itk.Wait(); !errors.As(werr, &cerr) {
+		t.Fatalf("unconverged Into refinement returned %v, want *solve.IllConditionedError", werr)
+	}
+	if !math.IsNaN(dst[0]) || !math.IsNaN(dst[5]) {
+		t.Errorf("ill-conditioned Into solve touched dst: %v", dst)
+	}
+
+	// The shard and its pooled workspace must stay healthy: the same
+	// system with a sane budget converges and matches serial exactly.
+	opts.Refine = solve.RefineOptions{MaxIters: 4}
+	wantX, wantStats, err := solve.Solve(a, d, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtk, err := s.SubmitSolveOpts(a, d, 2, opts, QoS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, gstats, err := gtk.Wait()
+	if err != nil {
+		t.Fatalf("follow-up solve after ill-conditioned tickets: %v", err)
+	}
+	if !reflect.DeepEqual(gx, wantX) || !reflect.DeepEqual(gstats, wantStats) {
+		t.Error("follow-up refined solve diverged from serial after ill-conditioned tickets")
+	}
+}
+
 // TestSolveStreamValidation: malformed solve submissions fail at Submit
 // with a synchronous error, before any job is drawn or enqueued.
 func TestSolveStreamValidation(t *testing.T) {
@@ -348,6 +446,17 @@ func TestSolveStreamValidation(t *testing.T) {
 	}
 	if _, err := s.SubmitSolveInto(matrix.Vector{1}, sq, d, 2, core.EngineCompiled); err == nil {
 		t.Error("short dst was accepted")
+	}
+	ex := core.NewExecutor(1)
+	if _, err := s.SubmitSolveOpts(sq, d, 2, solve.Options{Executor: ex}, QoS{}); err == nil {
+		t.Error("an executor-carrying solve was accepted")
+	}
+	ex.Close()
+	if _, err := s.SubmitSolveOpts(sq, d, 2, solve.Options{Pivot: solve.PivotPolicy(9)}, QoS{}); err == nil {
+		t.Error("an unknown pivot policy was accepted")
+	}
+	if _, err := s.SubmitSolveOpts(sq, d, 2, solve.Options{Refine: solve.RefineOptions{MaxIters: -1}}, QoS{}); err == nil {
+		t.Error("a negative refinement budget was accepted")
 	}
 	if st := s.Stats(); st.Submitted != 0 {
 		t.Errorf("validation failures consumed admissions: %+v", st)
@@ -384,5 +493,27 @@ func TestSolveStreamZeroAllocSteadyState(t *testing.T) {
 	roundTrip(deadline)
 	if allocs := testing.AllocsPerRun(50, func() { roundTrip(deadline) }); allocs != 0 {
 		t.Errorf("steady-state QoS solve stream job allocates %v objects/op, want 0", allocs)
+	}
+
+	// Pivoting and refinement ride the same pooled job and the shard
+	// workspace's reused buffers, so the warm guarantee survives both.
+	pa, pd := permuteRows(rng, a, d)
+	opts := solve.Options{
+		Engine: core.EngineCompiled,
+		Pivot:  solve.PivotPartial,
+		Refine: solve.RefineOptions{MaxIters: 3},
+	}
+	pivoted := func() {
+		tk, err := s.SubmitSolveIntoOpts(dst, pa, pd, 2, opts, QoS{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pivoted()
+	if allocs := testing.AllocsPerRun(50, pivoted); allocs != 0 {
+		t.Errorf("steady-state pivoted+refined solve stream job allocates %v objects/op, want 0", allocs)
 	}
 }

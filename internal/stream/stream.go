@@ -117,27 +117,32 @@ type Scheduler struct {
 }
 
 // Stats is a point-in-time snapshot of a scheduler's admission and
-// failure counters.
+// failure counters. The json tags fix the wire names operational
+// surfaces (cmd/solved's /stats) serve.
 type Stats struct {
 	// Shards is the fleet size.
-	Shards int
+	Shards int `json:"shards"`
 	// Submitted counts accepted jobs, Completed finished ones (normally,
 	// by expiry, or by a recovered panic — every accepted job completes
 	// exactly once); the difference is the in-flight depth.
-	Submitted, Completed uint64
+	Submitted uint64 `json:"submitted"`
+	// Completed counts finished jobs; see Submitted.
+	Completed uint64 `json:"completed"`
 	// Shed counts submissions rejected without being enqueued — queue
 	// saturation (ErrSaturated, injected or real) and predicted-wait
 	// deadline sheds (DeadlineError) — across both priorities.
-	Shed uint64
-	// ShedHigh and ShedLow break Shed down by admission class.
-	ShedHigh, ShedLow uint64
+	Shed uint64 `json:"shed"`
+	// ShedHigh breaks Shed down to the High admission class.
+	ShedHigh uint64 `json:"shed_high"`
+	// ShedLow breaks Shed down to the Low admission class.
+	ShedLow uint64 `json:"shed_low"`
 	// Expired counts jobs whose deadline passed before they ran — at
 	// admission or while queued — each resolved with the typed expiry
 	// error, never a garbage result.
-	Expired uint64
+	Expired uint64 `json:"expired"`
 	// Panics counts job panics recovered into per-job errors; every one
 	// left its shard serving.
-	Panics uint64
+	Panics uint64 `json:"panics"`
 }
 
 // New starts a scheduler per cfg. Close it when done.
@@ -160,6 +165,14 @@ func (s *Scheduler) Shards() int { return s.fleet.Shards() }
 // predicted waits, exposed for operational surfaces like cmd/solved's
 // /stats endpoint. Shards outside [0, Shards()) panic.
 func (s *Scheduler) QueueDepth(shard int) int { return s.fleet.QueueLen(shard) }
+
+// ServiceEWMA returns shard's service-time EWMA — the per-shard latency
+// signal admission multiplies by queue depth to predict waits (zero until
+// the shard serves its first job), exposed for operational surfaces like
+// cmd/solved's /stats endpoint. Shards outside [0, Shards()) panic.
+func (s *Scheduler) ServiceEWMA(shard int) time.Duration {
+	return time.Duration(s.ewma[shard].Load())
+}
 
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
@@ -249,6 +262,7 @@ func (s *Scheduler) release(j *job) {
 	j.mvp, j.mmp = core.MatVecProblem{}, core.MatMulProblem{}
 	j.mvres, j.mmres, j.spres = nil, nil, nil
 	j.svx, j.svstats = nil, solve.SolveStats{}
+	j.pivot, j.refine = solve.PivotNone, solve.RefineOptions{}
 	j.steps, j.err = 0, nil
 	j.deadline, j.prio, j.seq = time.Time{}, High, 0
 	s.jobs.Put(j)
