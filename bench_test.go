@@ -131,16 +131,16 @@ func BenchmarkE7FeedbackDelays(b *testing.B) {
 		last = res
 	}
 	maxReg := 0
-	for d := range last.Stats.RegularDelays {
-		if d > maxReg {
-			maxReg = d
+	for _, bin := range last.Stats.RegularDelays {
+		if bin.Delay > maxReg {
+			maxReg = bin.Delay
 		}
 	}
 	b.ReportMetric(float64(maxReg), "max-regular-delay")
 	maxIrr := 0
-	for d := range last.Stats.IrregularDelays {
-		if d > maxIrr {
-			maxIrr = d
+	for _, bin := range last.Stats.IrregularDelays {
+		if bin.Delay > maxIrr {
+			maxIrr = bin.Delay
 		}
 	}
 	b.ReportMetric(float64(maxIrr), "max-irregular-delay")

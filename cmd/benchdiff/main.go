@@ -28,8 +28,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path"
+	"sort"
 	"strings"
 )
 
@@ -103,6 +105,7 @@ func main() {
 		}
 		return false
 	}
+	ratios := make(map[string][]float64) // workload family → old/new speedups
 	for _, old := range oldSnap.Benchmarks {
 		cur, ok := newByName[old.Name]
 		if !ok {
@@ -130,9 +133,32 @@ func main() {
 		}
 		fmt.Printf("  %-44s %12.0f %12.0f %+7.1f%%   %d→%d%s\n",
 			old.Name, old.NsPerOp, cur.NsPerOp, rel*100, old.AllocsPerOp, cur.AllocsPerOp, marks)
+		if old.NsPerOp > 0 && cur.NsPerOp > 0 {
+			family := old.Name
+			if i := strings.IndexByte(family, '/'); i >= 0 {
+				family = family[:i]
+			}
+			ratios[family] = append(ratios[family], old.NsPerOp/cur.NsPerOp)
+		}
 	}
 	for name := range newByName {
 		fmt.Printf("  %-44s new row (no baseline)\n", name)
+	}
+	// Per-family geomean old/new speedup (>1 = new is faster), family =
+	// first path segment of the row name. Geometric mean because the rows
+	// are ratios: it weighs a 2× win and a 2× loss to exactly 1.
+	families := make([]string, 0, len(ratios))
+	for f := range ratios {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		logSum := 0.0
+		for _, r := range ratios[f] {
+			logSum += math.Log(r)
+		}
+		fmt.Printf("  geomean %-28s %6.2fx old/new (%d rows)\n",
+			f+":", math.Exp(logSum/float64(len(ratios[f]))), len(ratios[f]))
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regressions beyond threshold\n", regressions)

@@ -341,13 +341,18 @@ func main() {
 	str := sparse.NewMatVec(sa, sw)
 	sx := matrix.RandomVector(rng, snb*sw, 3)
 	sb := matrix.RandomVector(rng, snb*sw, 3)
+	spPlan, err := schedule.SparseMatVecFor(str.W, str.NBar, str.MBar, str.Retained)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	for _, eng := range []struct {
 		name string
 		e    core.Engine
 	}{{"oracle", core.EngineOracle}, {"compiled", core.EngineCompiled}} {
 		eng := eng
 		entries = append(entries, bench(fmt.Sprintf("sparse/matvec/w=%d/nb=%d/tridiag/%s", sw, snb, eng.name),
-			map[string]float64{"Q": float64(str.TotalBlocks()), "density": str.Density()},
+			map[string]float64{"Q": float64(str.TotalBlocks()), "density": str.Density(), "plan-bytes": float64(spPlan.Bytes())},
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -376,10 +381,22 @@ func main() {
 	bp := matrix.NewVector(schv.BLen)
 	ybuf := make([]float64, schv.Rows)
 	entries = append(entries, bench("compiled-exec/matvec/w=8/nm=16",
-		map[string]float64{"MACs": float64(schv.MACs)}, func(b *testing.B) {
+		map[string]float64{"MACs": float64(schv.MACs), "plan-bytes": float64(schv.Bytes())}, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				schv.Exec(band, xbar, bp, ybuf)
+			}
+		}))
+	// The grid-direct replay of the same plan: run descriptors over the
+	// padded matrix and padded x, no pack and no x̄ expansion at all — what
+	// the facade's compiled matvec path executes since the kernel rewrite.
+	xpad := make([]float64, tv.MBar*8)
+	copy(xpad, xv)
+	entries = append(entries, bench("compiled-exec/matvec-grid/w=8/nm=16",
+		map[string]float64{"MACs": float64(schv.MACs)}, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				schv.ExecGrid(tv.Grid.Padded().Raw(), xpad, bp, ybuf)
 			}
 		}))
 	tm := dbt.NewMatMul(am, bm, 3)
@@ -391,7 +408,7 @@ func main() {
 	ext := make([]float64, len(schm.ExtInits))
 	oband := make([]float64, schm.OLen())
 	entries = append(entries, bench("compiled-exec/matmul/w=3/pnm=27",
-		map[string]float64{"MACs": float64(schm.MACs)}, func(b *testing.B) {
+		map[string]float64{"MACs": float64(schm.MACs), "plan-bytes": float64(schm.Bytes())}, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				schm.Exec(aPack, bPack, ext, oband)

@@ -19,13 +19,13 @@ import (
 	"os"
 	"reflect"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 	"repro/internal/solve"
 	"repro/internal/sparse"
 	"repro/internal/stream"
@@ -185,7 +185,7 @@ func e7() {
 		res, err := core.NewMatMulSolver(w).Solve(a, b, core.MatMulOptions{})
 		check(err)
 		fmt.Printf("    w=%d n̄=%d p̄=%d m̄=%d: regular %v, irregular %v (paper U: %d, L: %d)\n",
-			w, nb, pb, mb, sortedKeys(res.Stats.RegularDelays), sortedKeys(res.Stats.IrregularDelays),
+			w, nb, pb, mb, schedule.BinDelays(res.Stats.RegularDelays), schedule.BinDelays(res.Stats.IrregularDelays),
 			analysis.MatMulIrregularDelayU(w, nb, pb), analysis.MatMulIrregularDelayL(w, nb, pb, mb))
 	}
 }
@@ -200,9 +200,9 @@ func e8() {
 		check(err)
 		md, sub, _ := analysis.MatMulRegisterDemand(w)
 		max := 0
-		for d := range res.Stats.RegularDelays {
-			if d > max {
-				max = d
+		for _, bin := range res.Stats.RegularDelays {
+			if bin.Delay > max {
+				max = bin.Delay
 			}
 		}
 		fmt.Printf("  %2d   %19d  %17d  %20d\n", w, md, sub, max)
@@ -678,15 +678,6 @@ func e16() {
 		fmt.Printf("   %.2f   %3d  %5d  %10d  %8s  %9s   %5.1fx   %.2fx\n",
 			density, cres.Q, cres.T, tr.PredictedSteps(), to, tc, speedup, sp)
 	}
-}
-
-func sortedKeys(m map[int]int) []int {
-	var out []int
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }
 
 func check(err error) {

@@ -75,9 +75,9 @@ func TestPaperEndToEnd(t *testing.T) {
 	if want := analysis.MatMulSteps(3, 2, 2, 3); mm.Stats.T != want || want != 115 {
 		t.Errorf("matmul T=%d, want 115", mm.Stats.T)
 	}
-	for d := range mm.Stats.RegularDelays {
-		if d != 3 && d != 6 {
-			t.Errorf("regular delay %d, want w or 2w", d)
+	for _, bin := range mm.Stats.RegularDelays {
+		if bin.Delay != 3 && bin.Delay != 6 {
+			t.Errorf("regular delay %d, want w or 2w", bin.Delay)
 		}
 	}
 

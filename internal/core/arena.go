@@ -138,14 +138,23 @@ func (ar *Arena) MatVecPass(dst matrix.Vector, a *matrix.Dense, x, b matrix.Vect
 	if b != nil && len(b) != a.Rows() {
 		return 0, fmt.Errorf("core: len(b)=%d, want %d", len(b), a.Rows())
 	}
-	xbar := t.TransformXInto(ar.Floats(t.BandCols()), x)
 	bp := ar.Floats(sch.BLen)
 	clear(bp)
 	copy(bp, b)
-	band := ar.Floats(sch.Rows * w)
-	t.PackBand(band)
 	ybuf := ar.Floats(sch.Rows)
-	sch.Exec(band, xbar, bp, ybuf)
+	if sch.GridReplay() {
+		// Grid-direct replay: no x̄ expansion, no band packing — the run
+		// descriptors index the padded grid and padded x directly.
+		xp := ar.Floats(t.MBar * w)
+		clear(xp)
+		copy(xp, x)
+		sch.ExecGrid(t.Grid.Padded().Raw(), xp, bp, ybuf)
+	} else {
+		xbar := t.TransformXInto(ar.Floats(t.BandCols()), x)
+		band := ar.Floats(sch.Rows * w)
+		t.PackBand(band)
+		sch.Exec(band, xbar, bp, ybuf)
+	}
 	t.RecoverYFlat(dst, ybuf)
 	return sch.T, nil
 }

@@ -202,27 +202,43 @@ func (s *MatVecSolver) solveCompiled(t dbt.Transform, x, b matrix.Vector, opts M
 	if err != nil {
 		return nil, err
 	}
-	// x̄ and the padded b̄ live in pooled scratch; only the returned y is a
-	// fresh allocation on this path.
-	var xbar matrix.Vector
-	mv, isByRows := t.(*dbt.MatVec)
-	if isByRows {
-		xbarBuf := schedule.GetFloatsUninit(t.BandCols())
-		defer schedule.PutFloats(xbarBuf)
-		xbar = mv.TransformXInto(*xbarBuf, x)
-	} else {
-		xbar = t.TransformX(x)
-	}
+	// Scratch (padded x or x̄, padded b̄, band) lives in pooled buffers; only
+	// the returned y is a fresh allocation on this path.
 	bpBuf := schedule.GetFloats(sch.BLen)
 	defer schedule.PutFloats(bpBuf)
 	bp := matrix.Vector(*bpBuf)
 	copy(bp, b)
-	band := schedule.GetFloatsUninit(sch.Rows * s.w)
-	defer schedule.PutFloats(band)
-	t.PackBand(*band)
 	ybuf := schedule.GetFloatsUninit(sch.Rows)
 	defer schedule.PutFloats(ybuf)
-	sch.Exec(*band, xbar, bp, *ybuf)
+
+	var aflat []float64
+	mv, isByRows := t.(*dbt.MatVec)
+	if isByRows {
+		aflat = mv.Grid.Padded().Raw()
+	} else if mvc, ok := t.(*dbt.MatVecByColumns); ok {
+		aflat = mvc.Grid.Padded().Raw()
+	}
+	if aflat != nil && sch.GridReplay() {
+		// Grid-direct replay: the run descriptors index the padded grid and
+		// padded x, so neither x̄ expansion nor band packing happens at all.
+		xpBuf := schedule.GetFloats(mbar * s.w)
+		defer schedule.PutFloats(xpBuf)
+		copy(*xpBuf, x)
+		sch.ExecGrid(aflat, *xpBuf, bp, *ybuf)
+	} else {
+		var xbar matrix.Vector
+		if isByRows {
+			xbarBuf := schedule.GetFloatsUninit(t.BandCols())
+			defer schedule.PutFloats(xbarBuf)
+			xbar = mv.TransformXInto(*xbarBuf, x)
+		} else {
+			xbar = t.TransformX(x)
+		}
+		band := schedule.GetFloatsUninit(sch.Rows * s.w)
+		defer schedule.PutFloats(band)
+		t.PackBand(*band)
+		sch.Exec(*band, xbar, bp, *ybuf)
+	}
 
 	// Recover y (copying, so the pooled buffers can be released).
 	var y matrix.Vector

@@ -36,12 +36,12 @@ type MatMulStats struct {
 	// adds.
 	Utilization, PredictedUtilization float64
 	MeasuredMACs                      int
-	// RegularDelays histograms the measured regular feedback delays
-	// (delay → count): the paper predicts w for the sub-diagonal pairs and
-	// 2w for the auto-fed main diagonal.
-	RegularDelays map[int]int
+	// RegularDelays histograms the measured regular feedback delays as
+	// sorted (delay, count) bins: the paper predicts w for the sub-diagonal
+	// pairs and 2w for the auto-fed main diagonal.
+	RegularDelays []schedule.DelayBin
 	// IrregularDelays histograms the region-crossing feedback delays.
-	IrregularDelays map[int]int
+	IrregularDelays []schedule.DelayBin
 	// Trace is the boundary trace when requested.
 	Trace *systolic.Trace
 }
@@ -106,8 +106,8 @@ func (s *MatMulSolver) Solve(a, b *matrix.Dense, opts MatMulOptions) (*MatMulRes
 		Utilization:          float64(analysis.MatMulOps(s.w, t.PBar, t.NBar, t.MBar)) / (float64(s.w*s.w) * float64(res.T)),
 		PredictedUtilization: analysis.MatMulUtilization(s.w, t.PBar, t.NBar, t.MBar),
 		MeasuredMACs:         res.Activity.Total(),
-		RegularDelays:        regular,
-		IrregularDelays:      irregular,
+		RegularDelays:        schedule.BinsFromHistogram(regular),
+		IrregularDelays:      schedule.BinsFromHistogram(irregular),
 		Trace:                res.Trace,
 	}
 	return &MatMulResult{C: cFinal, Stats: stats}, nil

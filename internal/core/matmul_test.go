@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/matrix"
+	"repro/internal/schedule"
 )
 
 // TestMatMulSolverCorrect: end-to-end C = A·B + E through DBT + the
@@ -104,23 +105,23 @@ func TestMatMulFeedbackDelays(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for d := range res.Stats.RegularDelays {
-			if d != w && d != 2*w {
-				t.Errorf("%+v: regular delay %d, want %d or %d", cse, d, w, 2*w)
+		for _, bin := range res.Stats.RegularDelays {
+			if bin.Delay != w && bin.Delay != 2*w {
+				t.Errorf("%+v: regular delay %d, want %d or %d", cse, bin.Delay, w, 2*w)
 			}
 		}
 		// Main-diagonal (auto-fed) edges exist only when a D chain spans
 		// more than one row block, i.e. p̄ > 1.
 		if w > 1 && cse.pb > 1 {
-			if _, ok := res.Stats.RegularDelays[2*w]; !ok {
+			if schedule.BinCount(res.Stats.RegularDelays, 2*w) == 0 {
 				t.Errorf("%+v: no main-diagonal 2w delays observed", cse)
 			}
 		}
 		wantU := 3*w*(cse.pb*(cse.nb-1)+1) - 2*w  // U/L region-crossing family
 		wantL := 3*w*cse.nb*cse.pb*(cse.mb-1) + w // final L_{n̄−1,0} family
-		for d := range res.Stats.IrregularDelays {
-			if d != wantU && d != wantL {
-				t.Errorf("%+v: irregular delay %d, want %d or %d", cse, d, wantU, wantL)
+		for _, bin := range res.Stats.IrregularDelays {
+			if bin.Delay != wantU && bin.Delay != wantL {
+				t.Errorf("%+v: irregular delay %d, want %d or %d", cse, bin.Delay, wantU, wantL)
 			}
 		}
 		if cse.nb > 1 || cse.mb > 1 {
@@ -146,15 +147,15 @@ func TestMatMulRegisterDemand(t *testing.T) {
 	}
 	mainDiag, perSub, _ := analysis.MatMulRegisterDemand(w)
 	maxReg := 0
-	for d := range res.Stats.RegularDelays {
-		if d > maxReg {
-			maxReg = d
+	for _, bin := range res.Stats.RegularDelays {
+		if bin.Delay > maxReg {
+			maxReg = bin.Delay
 		}
 	}
 	if maxReg != mainDiag {
 		t.Errorf("max regular delay %d, paper main-diagonal demand %d", maxReg, mainDiag)
 	}
-	if _, ok := res.Stats.RegularDelays[perSub]; !ok {
+	if schedule.BinCount(res.Stats.RegularDelays, perSub) == 0 {
 		t.Errorf("no delay-%d sub-diagonal edges observed", perSub)
 	}
 }

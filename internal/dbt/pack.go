@@ -93,6 +93,20 @@ func (t *MatMul) PackBHat(dst []float64) {
 func PackTriBand(l *matrix.Band, w int, dst []float64) {
 	n := l.Rows()
 	checkPack(dst, n, w)
+	if l.Lo() == 1-w && l.Hi() == 0 {
+		// l stores exactly the diagonals the pack wants, row-compact in
+		// ascending diagonal order — the packed row is the storage row
+		// reversed, and out-of-matrix slots are zero by Band's invariant
+		// (RawRow), so no per-element band dispatch is needed.
+		for i := 0; i < n; i++ {
+			src := l.RawRow(i)
+			row := dst[i*w : (i+1)*w]
+			for d := range row {
+				row[d] = src[w-1-d]
+			}
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		row := dst[i*w : (i+1)*w]
 		for d := range row {

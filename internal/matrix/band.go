@@ -38,6 +38,19 @@ func (b *Band) Hi() int { return b.hi }
 // Width returns the number of stored diagonals (the bandwidth).
 func (b *Band) Width() int { return b.hi - b.lo + 1 }
 
+// RawRow returns row i's stored diagonal slots (Lo..Hi, in that order) as a
+// direct view of the backing storage. Slots whose column falls outside the
+// matrix are always zero: the storage starts zeroed and Set/Add refuse
+// out-of-matrix positions — which is what lets packers copy whole rows
+// without per-element bounds dispatch.
+func (b *Band) RawRow(i int) []float64 {
+	if i < 0 || i >= b.rows {
+		panic(fmt.Sprintf("matrix: band row %d out of range %d", i, b.rows))
+	}
+	w := b.Width()
+	return b.data[i*w : (i+1)*w]
+}
+
 // InBand reports whether (i, j) lies inside the matrix and the band.
 func (b *Band) InBand(i, j int) bool {
 	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {

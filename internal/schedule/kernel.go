@@ -1,0 +1,356 @@
+package schedule
+
+import "os"
+
+// This file holds the shared replay kernels every compiled plan dispatches
+// into (DESIGN §12). The plan compilers emit each row's gather as contiguous
+// *runs* over the operand buffers — at most two per sparse band row (the
+// Ū→L̄ wrap is the only break), exactly one per dense matvec row, a clamped
+// span per trisolve row — so the hot loop is straight slice arithmetic
+// instead of a per-MAC index gather. Two idioms keep the bounds checker out
+// of the inner loops:
+//
+//   - re-slice every operand to its exact extent up front (`x = x[:len(a)]`,
+//     `xs = xs[:15]`): after that, constant indices and `range`-bounded
+//     accesses are provably in range;
+//   - in the unrolled width specializations, give each row a compile-time
+//     constant trip count so the loop body is branch-free straight-line code
+//     with one scalar accumulator per row (arrays spill; variable trip
+//     counts defeat the branch predictor and run *slower* than the gather
+//     they replace).
+//
+// Accumulation order is load-bearing: per result element the terms must be
+// added in exactly the array's cycle order (increasing diagonal for the
+// linear array, descending diagonal for the triangular solver) or the
+// float64 rounding trail diverges from the structural oracle. The kernels
+// therefore never reassociate within a row — every `v += term` is a separate
+// statement — but they freely interleave *independent* rows (the quad
+// layouts below) because rows only depend on outputs at feedback distance
+// ≥ w, which block boundaries respect.
+//
+// To add a width specialization: write the unrolled kernels (band and grid
+// flavors), add a kern constant, extend kernelFor, and extend the pinning
+// test in kernel_test.go that proves the new kernels bit-identical to the
+// generic ones on randomized data.
+
+// Run is one contiguous-run descriptor of a compiled gather: Len
+// coefficients starting at ABase in the flat operand matrix, paired with Len
+// stream elements starting at XBase. Plans store runs implicitly (per-block
+// column bases); RowRuns-style accessors materialize them for tests and
+// tooling.
+type Run struct {
+	ABase, XBase int32
+	Len          int32
+}
+
+// kern selects a replay kernel family at plan-compile time.
+type kern uint8
+
+const (
+	kernGeneric kern = iota // any width: run-sliced loops
+	kernW4                  // unrolled straight-line kernels for w = 4
+	kernW8                  // unrolled straight-line kernels for w = 8
+)
+
+// genericKernelsOnly pins every plan to the generic kernels (CI's
+// kernel-generic job sets it so the fallback path cannot rot). Read once at
+// process start: plans are cached globally, so flipping it mid-process would
+// race with cached plans compiled under the other setting.
+var genericKernelsOnly = os.Getenv("REPRO_GENERIC_KERNELS") != ""
+
+// kernelFor picks the kernel family for an array width.
+func kernelFor(w int) kern {
+	if genericKernelsOnly {
+		return kernGeneric
+	}
+	switch w {
+	case 4:
+		return kernW4
+	case 8:
+		return kernW8
+	}
+	return kernGeneric
+}
+
+// dotRun accumulates v += a[d]·x[d] for d increasing — the generic forward
+// run kernel. The re-slice of x lets the compiler drop both bounds checks.
+func dotRun(v float64, a, x []float64) float64 {
+	x = x[:len(a)]
+	for d, c := range a {
+		v += c * x[d]
+	}
+	return v
+}
+
+// dotRunRev accumulates v += a[n−1−t]·x[t] for t increasing — the terms of
+// a reversed run, i.e. descending-diagonal order over a coefficient span
+// stored diagonal-ascending (the trisolve band layout).
+func dotRunRev(v float64, a, x []float64) float64 {
+	x = x[:len(a)]
+	for t := range x {
+		v += a[len(a)-1-t] * x[t]
+	}
+	return v
+}
+
+// dotRunRev3 is dotRunRev unrolled for a 3-term span (w = 4 trisolve rows).
+func dotRunRev3(v float64, a, x []float64) float64 {
+	a = a[:3]
+	x = x[:3]
+	v += a[2] * x[0]
+	v += a[1] * x[1]
+	v += a[0] * x[2]
+	return v
+}
+
+// dotRunRev7 is dotRunRev unrolled for a 7-term span (w = 8 trisolve rows).
+func dotRunRev7(v float64, a, x []float64) float64 {
+	a = a[:7]
+	x = x[:7]
+	v += a[6] * x[0]
+	v += a[5] * x[1]
+	v += a[4] * x[2]
+	v += a[3] * x[3]
+	v += a[2] * x[4]
+	v += a[1] * x[5]
+	v += a[0] * x[6]
+	return v
+}
+
+// bandBlockGeneric replays one w-row block of a packed band: row a starts
+// from ini[a] and adds band[a·w+d]·xs[a+d] for d increasing.
+func bandBlockGeneric(out, ini, band, xs []float64, w int) {
+	for a := 0; a < w; a++ {
+		out[a] = dotRun(ini[a], band[a*w:a*w+w], xs[a:])
+	}
+}
+
+// bandBlock4 is bandBlockGeneric unrolled for w = 4: one quad of rows with
+// scalar accumulators, constant trip counts, diagonal-major interleave.
+func bandBlock4(out, ini, band, xs []float64) {
+	band = band[:16]
+	xs = xs[:7]
+	ini = ini[:4]
+	a0 := band[0:4:4]
+	a1 := band[4:8:8]
+	a2 := band[8:12:12]
+	a3 := band[12:16:16]
+	x0 := xs[0:4:4]
+	x1 := xs[1:5:5]
+	x2 := xs[2:6:6]
+	x3 := xs[3:7:7]
+	v0, v1, v2, v3 := ini[0], ini[1], ini[2], ini[3]
+	for d := 0; d < 4; d++ {
+		v0 += a0[d] * x0[d]
+		v1 += a1[d] * x1[d]
+		v2 += a2[d] * x2[d]
+		v3 += a3[d] * x3[d]
+	}
+	out = out[:4]
+	out[0] = v0
+	out[1] = v1
+	out[2] = v2
+	out[3] = v3
+}
+
+// bandBlock8 is bandBlockGeneric unrolled for w = 8: two quads of rows with
+// scalar accumulators (eight would spill), constant trip counts.
+func bandBlock8(out, ini, band, xs []float64) {
+	band = band[:64]
+	xs = xs[:15]
+	ini = ini[:8]
+	out = out[:8]
+	{
+		a0 := band[0:8:8]
+		a1 := band[8:16:16]
+		a2 := band[16:24:24]
+		a3 := band[24:32:32]
+		x0 := xs[0:8:8]
+		x1 := xs[1:9:9]
+		x2 := xs[2:10:10]
+		x3 := xs[3:11:11]
+		v0, v1, v2, v3 := ini[0], ini[1], ini[2], ini[3]
+		for d := 0; d < 8; d++ {
+			v0 += a0[d] * x0[d]
+			v1 += a1[d] * x1[d]
+			v2 += a2[d] * x2[d]
+			v3 += a3[d] * x3[d]
+		}
+		out[0] = v0
+		out[1] = v1
+		out[2] = v2
+		out[3] = v3
+	}
+	{
+		a4 := band[32:40:40]
+		a5 := band[40:48:48]
+		a6 := band[48:56:56]
+		a7 := band[56:64:64]
+		x4 := xs[4:12:12]
+		x5 := xs[5:13:13]
+		x6 := xs[6:14:14]
+		x7 := xs[7:15:15]
+		v4, v5, v6, v7 := ini[4], ini[5], ini[6], ini[7]
+		for d := 0; d < 8; d++ {
+			v4 += a4[d] * x4[d]
+			v5 += a5[d] * x5[d]
+			v6 += a6[d] * x6[d]
+			v7 += a7[d] * x7[d]
+		}
+		out[4] = v4
+		out[5] = v5
+		out[6] = v6
+		out[7] = v7
+	}
+}
+
+// gridBlockGeneric replays one w-row block straight off the padded grid:
+// row a starts from ini[a], adds its Ū run u[a·s+c]·xu[c] for c = a..w−1
+// (diagonals 0..w−1−a), then its L̄ run lo[a·s+c]·xl[c] for c = 0..a−1
+// (diagonals w−a..w−1). s is the padded row stride. Row 0 has no L̄ run —
+// the empty-run case the compiler never materializes.
+func gridBlockGeneric(out, ini, u, lo, xu, xl []float64, s, w int) {
+	for a := 0; a < w; a++ {
+		v := dotRun(ini[a], u[a*s+a:a*s+w], xu[a:])
+		out[a] = dotRun(v, lo[a*s:a*s+a], xl)
+	}
+}
+
+// gridBlock4 is gridBlockGeneric unrolled for w = 4, diagonal-major: at
+// diagonal d, row a reads u[a·s+a+d]·xu[a+d] while a+d < 4 and wraps to
+// lo[a·s+a+d−4]·xl[a+d−4] after. Each row's terms stay in increasing-d
+// order; the four independent accumulator chains interleave for ILP.
+func gridBlock4(out, ini, u, lo, xu, xl []float64, s int) {
+	xu = xu[:4:4]
+	xl = xl[:4:4]
+	ini = ini[:4]
+	v0, v1, v2, v3 := ini[0], ini[1], ini[2], ini[3]
+	// d = 0
+	v0 += u[0] * xu[0]
+	v1 += u[s+1] * xu[1]
+	v2 += u[2*s+2] * xu[2]
+	v3 += u[3*s+3] * xu[3]
+	// d = 1
+	v0 += u[1] * xu[1]
+	v1 += u[s+2] * xu[2]
+	v2 += u[2*s+3] * xu[3]
+	v3 += lo[3*s] * xl[0]
+	// d = 2
+	v0 += u[2] * xu[2]
+	v1 += u[s+3] * xu[3]
+	v2 += lo[2*s] * xl[0]
+	v3 += lo[3*s+1] * xl[1]
+	// d = 3
+	v0 += u[3] * xu[3]
+	v1 += lo[s] * xl[0]
+	v2 += lo[2*s+1] * xl[1]
+	v3 += lo[3*s+2] * xl[2]
+	out = out[:4]
+	out[0] = v0
+	out[1] = v1
+	out[2] = v2
+	out[3] = v3
+}
+
+// gridBlock8 is gridBlockGeneric unrolled for w = 8: two diagonal-major
+// quads of rows (eight live accumulators would spill).
+func gridBlock8(out, ini, u, lo, xu, xl []float64, s int) {
+	xu = xu[:8:8]
+	xl = xl[:8:8]
+	ini = ini[:8]
+	out = out[:8]
+	{
+		v0, v1, v2, v3 := ini[0], ini[1], ini[2], ini[3]
+		// d = 0
+		v0 += u[0] * xu[0]
+		v1 += u[s+1] * xu[1]
+		v2 += u[2*s+2] * xu[2]
+		v3 += u[3*s+3] * xu[3]
+		// d = 1
+		v0 += u[1] * xu[1]
+		v1 += u[s+2] * xu[2]
+		v2 += u[2*s+3] * xu[3]
+		v3 += u[3*s+4] * xu[4]
+		// d = 2
+		v0 += u[2] * xu[2]
+		v1 += u[s+3] * xu[3]
+		v2 += u[2*s+4] * xu[4]
+		v3 += u[3*s+5] * xu[5]
+		// d = 3
+		v0 += u[3] * xu[3]
+		v1 += u[s+4] * xu[4]
+		v2 += u[2*s+5] * xu[5]
+		v3 += u[3*s+6] * xu[6]
+		// d = 4
+		v0 += u[4] * xu[4]
+		v1 += u[s+5] * xu[5]
+		v2 += u[2*s+6] * xu[6]
+		v3 += u[3*s+7] * xu[7]
+		// d = 5
+		v0 += u[5] * xu[5]
+		v1 += u[s+6] * xu[6]
+		v2 += u[2*s+7] * xu[7]
+		v3 += lo[3*s] * xl[0]
+		// d = 6
+		v0 += u[6] * xu[6]
+		v1 += u[s+7] * xu[7]
+		v2 += lo[2*s] * xl[0]
+		v3 += lo[3*s+1] * xl[1]
+		// d = 7
+		v0 += u[7] * xu[7]
+		v1 += lo[s] * xl[0]
+		v2 += lo[2*s+1] * xl[1]
+		v3 += lo[3*s+2] * xl[2]
+		out[0] = v0
+		out[1] = v1
+		out[2] = v2
+		out[3] = v3
+	}
+	{
+		v4, v5, v6, v7 := ini[4], ini[5], ini[6], ini[7]
+		// d = 0
+		v4 += u[4*s+4] * xu[4]
+		v5 += u[5*s+5] * xu[5]
+		v6 += u[6*s+6] * xu[6]
+		v7 += u[7*s+7] * xu[7]
+		// d = 1
+		v4 += u[4*s+5] * xu[5]
+		v5 += u[5*s+6] * xu[6]
+		v6 += u[6*s+7] * xu[7]
+		v7 += lo[7*s] * xl[0]
+		// d = 2
+		v4 += u[4*s+6] * xu[6]
+		v5 += u[5*s+7] * xu[7]
+		v6 += lo[6*s] * xl[0]
+		v7 += lo[7*s+1] * xl[1]
+		// d = 3
+		v4 += u[4*s+7] * xu[7]
+		v5 += lo[5*s] * xl[0]
+		v6 += lo[6*s+1] * xl[1]
+		v7 += lo[7*s+2] * xl[2]
+		// d = 4
+		v4 += lo[4*s] * xl[0]
+		v5 += lo[5*s+1] * xl[1]
+		v6 += lo[6*s+2] * xl[2]
+		v7 += lo[7*s+3] * xl[3]
+		// d = 5
+		v4 += lo[4*s+1] * xl[1]
+		v5 += lo[5*s+2] * xl[2]
+		v6 += lo[6*s+3] * xl[3]
+		v7 += lo[7*s+4] * xl[4]
+		// d = 6
+		v4 += lo[4*s+2] * xl[2]
+		v5 += lo[5*s+3] * xl[3]
+		v6 += lo[6*s+4] * xl[4]
+		v7 += lo[7*s+5] * xl[5]
+		// d = 7
+		v4 += lo[4*s+3] * xl[3]
+		v5 += lo[5*s+4] * xl[4]
+		v6 += lo[6*s+5] * xl[5]
+		v7 += lo[7*s+6] * xl[6]
+		out[4] = v4
+		out[5] = v5
+		out[6] = v6
+		out[7] = v7
+	}
+}

@@ -1,0 +1,473 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dbt"
+	"repro/internal/matrix"
+)
+
+// These tests pin the replay-kernel contract (DESIGN §12): the unrolled
+// width specializations must be bit-identical to the generic run kernels on
+// full-precision random data (same accumulation order, so every float64
+// rounding step matches), and the compiled run descriptors must expand to
+// exactly the per-MAC gather sequence they compress away. Data here is
+// full-precision (NormFloat64) on purpose — any reassociation or reordering
+// inside a kernel shows up as a bitwise mismatch.
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// randDense fills an n×m dense matrix with full-precision values.
+func randDense(rng *rand.Rand, n, m int) *matrix.Dense {
+	a := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return a
+}
+
+func TestKernelForSelection(t *testing.T) {
+	if genericKernelsOnly {
+		t.Skip("REPRO_GENERIC_KERNELS set: width specializations disabled")
+	}
+	if kernelFor(4) != kernW4 {
+		t.Error("kernelFor(4) is not the w=4 specialization")
+	}
+	if kernelFor(8) != kernW8 {
+		t.Error("kernelFor(8) is not the w=8 specialization")
+	}
+	for _, w := range []int{1, 2, 3, 5, 6, 7, 9, 16} {
+		if kernelFor(w) != kernGeneric {
+			t.Errorf("kernelFor(%d) is not generic", w)
+		}
+	}
+	saved := genericKernelsOnly
+	genericKernelsOnly = true
+	defer func() { genericKernelsOnly = saved }()
+	for _, w := range []int{4, 8} {
+		if kernelFor(w) != kernGeneric {
+			t.Errorf("kernelFor(%d) must be generic under REPRO_GENERIC_KERNELS", w)
+		}
+	}
+}
+
+// TestBandKernelsPinned: bandBlock4/bandBlock8 bit-identical to
+// bandBlockGeneric on random blocks.
+func TestBandKernelsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, w := range []int{4, 8} {
+		for trial := 0; trial < 50; trial++ {
+			band := randFloats(rng, w*w)
+			xs := randFloats(rng, 2*w-1)
+			ini := randFloats(rng, w)
+			want := make([]float64, w)
+			got := make([]float64, w)
+			bandBlockGeneric(want, ini, band, xs, w)
+			switch w {
+			case 4:
+				bandBlock4(got, ini, band, xs)
+			case 8:
+				bandBlock8(got, ini, band, xs)
+			}
+			for a := 0; a < w; a++ {
+				if got[a] != want[a] {
+					t.Fatalf("w=%d trial %d row %d: unrolled %v ≠ generic %v", w, trial, a, got[a], want[a])
+				}
+			}
+		}
+	}
+}
+
+// TestGridKernelsPinned: gridBlock4/gridBlock8 bit-identical to
+// gridBlockGeneric for several strides.
+func TestGridKernelsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, w := range []int{4, 8} {
+		for _, stride := range []int{w, w + 3, 3 * w} {
+			for trial := 0; trial < 30; trial++ {
+				u := randFloats(rng, (w-1)*stride+w)
+				lo := randFloats(rng, (w-1)*stride+w)
+				xu := randFloats(rng, w)
+				xl := randFloats(rng, w)
+				ini := randFloats(rng, w)
+				want := make([]float64, w)
+				got := make([]float64, w)
+				gridBlockGeneric(want, ini, u, lo, xu, xl, stride, w)
+				switch w {
+				case 4:
+					gridBlock4(got, ini, u, lo, xu, xl, stride)
+				case 8:
+					gridBlock8(got, ini, u, lo, xu, xl, stride)
+				}
+				for a := 0; a < w; a++ {
+					if got[a] != want[a] {
+						t.Fatalf("w=%d s=%d trial %d row %d: unrolled %v ≠ generic %v", w, stride, trial, a, got[a], want[a])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRevKernelsPinned: dotRunRev3/dotRunRev7 bit-identical to dotRunRev.
+func TestRevKernelsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 50; trial++ {
+		v := rng.NormFloat64()
+		a3, x3 := randFloats(rng, 3), randFloats(rng, 3)
+		if got, want := dotRunRev3(v, a3, x3), dotRunRev(v, a3, x3); got != want {
+			t.Fatalf("dotRunRev3 %v ≠ dotRunRev %v", got, want)
+		}
+		a7, x7 := randFloats(rng, 7), randFloats(rng, 7)
+		if got, want := dotRunRev7(v, a7, x7), dotRunRev(v, a7, x7); got != want {
+			t.Fatalf("dotRunRev7 %v ≠ dotRunRev %v", got, want)
+		}
+	}
+}
+
+// TestMatVecPlanKernelsPinned compiles real matvec plans at the specialized
+// widths and pins three ways through the same plan to bitwise-equal outputs:
+// packed Exec with the unrolled kernel, packed Exec forced generic, and
+// grid-direct ExecGrid (which must read exactly the elements the pack would
+// have copied, in the same order).
+func TestMatVecPlanKernelsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for _, w := range []int{4, 8} {
+		for _, shape := range [][2]int{{w, w}, {2*w + 1, 3*w - 1}, {3 * w, 2 * w}} {
+			n, m := shape[0], shape[1]
+			a := randDense(rng, n, m)
+			x := matrix.Vector(randFloats(rng, m))
+			b := matrix.Vector(randFloats(rng, n))
+			for _, tr := range []dbt.Transform{dbt.NewMatVec(a, w), dbt.NewMatVecByColumns(a, w)} {
+				s, err := compileMatVec(tr, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				band := make([]float64, s.Rows*w)
+				tr.PackBand(band)
+				xbar := tr.TransformX(x)
+				bp := make([]float64, s.BLen)
+				copy(bp, b)
+
+				run := func() []float64 {
+					y := make([]float64, s.Rows)
+					s.Exec(band, xbar, bp, y)
+					return y
+				}
+				want := run()
+				saved := s.kern
+				s.kern = kernGeneric
+				generic := run()
+				s.kern = saved
+				for i := range want {
+					if want[i] != generic[i] {
+						t.Fatalf("w=%d %T %v: unrolled Exec ≠ generic Exec at row %d", w, tr, shape, i)
+					}
+				}
+
+				if !s.GridReplay() {
+					t.Fatalf("w=%d %T: dbt-built transform did not compile grid descriptors", w, tr)
+				}
+				_, _, mbar := tr.Shape()
+				xp := make([]float64, mbar*w)
+				copy(xp, x)
+				grid := make([]float64, s.Rows)
+				var aflat []float64
+				switch g := tr.(type) {
+				case *dbt.MatVec:
+					aflat = g.Grid.Padded().Raw()
+				case *dbt.MatVecByColumns:
+					aflat = g.Grid.Padded().Raw()
+				}
+				s.ExecGrid(aflat, xp, bp, grid)
+				for i := range want {
+					if want[i] != grid[i] {
+						t.Fatalf("w=%d %T %v: ExecGrid ≠ packed Exec at row %d: %v vs %v", w, tr, shape, i, grid[i], want[i])
+					}
+				}
+				if s.Bytes() <= 0 {
+					t.Errorf("w=%d %T: plan Bytes() = %d, want > 0", w, tr, s.Bytes())
+				}
+			}
+		}
+	}
+}
+
+// TestTriSolvePlanKernelsPinned: the clamped-span trisolve replay is
+// bit-identical between the unrolled and generic rev kernels.
+func TestTriSolvePlanKernelsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for _, w := range []int{4, 8} {
+		for _, n := range []int{1, w - 1, w, 3*w + 2} {
+			s := compileTriSolve(n, w)
+			lband := randFloats(rng, n*w)
+			for i := 0; i < n; i++ {
+				lband[i*w] = 1 + rng.Float64() // nonzero diagonal
+				for d := i + 1; d < w; d++ {
+					lband[i*w+d] = 0 // below the matrix, zero by pack contract
+				}
+			}
+			b := randFloats(rng, n)
+			want := make([]float64, n)
+			got := make([]float64, n)
+			s.Exec(lband, b, want)
+			saved := s.kern
+			s.kern = kernGeneric
+			s.Exec(lband, b, got)
+			s.kern = saved
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("w=%d n=%d row %d: generic %v ≠ unrolled %v", w, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// randPattern draws a random retained-block pattern: each row band keeps a
+// random (possibly empty) strictly-increasing subset of the column blocks.
+func randPattern(rng *rand.Rand, nbar, mbar int) [][]int {
+	ret := make([][]int, nbar)
+	for r := range ret {
+		for c := 0; c < mbar; c++ {
+			if rng.Intn(2) == 0 {
+				ret[r] = append(ret[r], c)
+			}
+		}
+	}
+	return ret
+}
+
+// oldSparseGather is the retired per-MAC index builder, kept as the test
+// reference for the run compaction: for every local row i of row band r it
+// emits the flat coefficient index and padded-x index of each of the row's w
+// multiply–accumulates, in the array's cycle order (increasing diagonal).
+// This is the exact code the pre-compaction compiler materialized as
+// asrc/xsrc tables, 8 bytes per MAC.
+func oldSparseGather(w, mbar, r int, cols []int) (asrc, xsrc []int32) {
+	stride := mbar * w
+	qr := len(cols)
+	for i := 0; i < qr*w; i++ {
+		k, a := i/w, i%w
+		arow := (r*w + a) * stride
+		for d := 0; d < w; d++ {
+			if bb := a + d; bb < w {
+				asrc = append(asrc, int32(arow+cols[k]*w+bb))
+			} else {
+				asrc = append(asrc, int32(arow+cols[(k+1)%qr]*w+(bb-w)))
+			}
+			j := i + d
+			kb := j / w
+			if kb >= qr { // x̄ tail: the wrap block's leading elements
+				kb = 0
+			}
+			xsrc = append(xsrc, int32(cols[kb]*w+j%w))
+		}
+	}
+	return
+}
+
+// TestSparseRunCompactionRoundTrip: expanding the compiled run descriptors
+// term by term reproduces exactly the old per-MAC gather sequence, over
+// randomized shapes and patterns. This is the property that licenses the
+// ~w² memory compression — the runs are a lossless re-encoding.
+func TestSparseRunCompactionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	patterns := 0
+	for trial := 0; trial < 200; trial++ {
+		w := []int{1, 2, 3, 4, 5, 8}[rng.Intn(6)]
+		nbar := 1 + rng.Intn(5)
+		mbar := 1 + rng.Intn(5)
+		retained := randPattern(rng, nbar, mbar)
+		s, err := compileSparseMatVec(w, nbar, mbar, retained)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var runs []Run
+		for r, cols := range retained {
+			if len(cols) == 0 {
+				continue
+			}
+			patterns++
+			wantA, wantX := oldSparseGather(w, mbar, r, cols)
+			var gotA, gotX []int32
+			for l := 0; l < len(cols)*w; l++ {
+				runs = s.RowRuns(r, l, runs[:0])
+				total := 0
+				for _, run := range runs {
+					if run.Len <= 0 {
+						t.Fatalf("w=%d band %d row %d: empty run %+v", w, r, l, run)
+					}
+					for k := int32(0); k < run.Len; k++ {
+						gotA = append(gotA, run.ABase+k)
+						gotX = append(gotX, run.XBase+k)
+					}
+					total += int(run.Len)
+				}
+				if total != w {
+					t.Fatalf("w=%d band %d row %d: runs cover %d of %d MACs", w, r, l, total, w)
+				}
+			}
+			if len(gotA) != len(wantA) {
+				t.Fatalf("w=%d band %d: %d expanded MACs, want %d", w, r, len(gotA), len(wantA))
+			}
+			for i := range wantA {
+				if gotA[i] != wantA[i] || gotX[i] != wantX[i] {
+					t.Fatalf("w=%d n̄=%d m̄=%d band %d MAC %d: run expansion (a=%d,x=%d) ≠ reference (a=%d,x=%d) for cols %v",
+						w, nbar, mbar, r, i, gotA[i], gotX[i], wantA[i], wantX[i], cols)
+				}
+			}
+		}
+	}
+	if patterns < 100 {
+		t.Fatalf("only %d non-empty bands exercised — generator too sparse", patterns)
+	}
+}
+
+// replaySparseRuns replays a sparse plan by scalar run expansion — the
+// slowest, most literal reading of the descriptors: per row, initialize from
+// b̄ or the feedback row w earlier, then accumulate each run term by term.
+// Kernel Exec must match it bitwise (per-row term order is identical; the
+// kernels only interleave independent rows).
+func replaySparseRuns(s *SparseMatVec, aflat, xp, bp []float64) []float64 {
+	w := s.W
+	y := make([]float64, s.NBar*w)
+	var runs []Run
+	for r := 0; r < s.NBar; r++ {
+		qr := int(s.q[r])
+		if qr == 0 {
+			copy(y[r*w:(r+1)*w], bp[r*w:(r+1)*w])
+			continue
+		}
+		rows := qr * w
+		ybar := make([]float64, rows)
+		for l := 0; l < rows; l++ {
+			var v float64
+			if l < w {
+				v = bp[r*w+l]
+			} else {
+				v = ybar[l-w]
+			}
+			runs = s.RowRuns(r, l, runs[:0])
+			for _, run := range runs {
+				for k := int32(0); k < run.Len; k++ {
+					v += aflat[run.ABase+k] * xp[run.XBase+k]
+				}
+			}
+			ybar[l] = v
+		}
+		copy(y[r*w:(r+1)*w], ybar[rows-w:])
+	}
+	return y
+}
+
+// TestSparsePlanKernelsPinned: sparse Exec with the unrolled kernels is
+// bit-identical to the forced-generic kernels and to the literal scalar run
+// replay, over random patterns at the specialized widths.
+func TestSparsePlanKernelsPinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for _, w := range []int{4, 8} {
+		for trial := 0; trial < 20; trial++ {
+			nbar := 1 + rng.Intn(4)
+			mbar := 1 + rng.Intn(4)
+			retained := randPattern(rng, nbar, mbar)
+			s, err := compileSparseMatVec(w, nbar, mbar, retained)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := randDense(rng, nbar*w, mbar*w)
+			xp := randFloats(rng, mbar*w)
+			bp := randFloats(rng, nbar*w)
+			exec := func() []float64 {
+				y := make([]float64, nbar*w)
+				ybar := make([]float64, s.MaxBandRows)
+				if s.MaxBandRows == 0 {
+					ybar = make([]float64, 1)
+				}
+				s.Exec(a.Raw(), xp, bp, y, ybar)
+				return y
+			}
+			want := exec()
+			saved := s.kern
+			s.kern = kernGeneric
+			generic := exec()
+			s.kern = saved
+			scalar := replaySparseRuns(s, a.Raw(), xp, bp)
+			for i := range want {
+				if generic[i] != want[i] {
+					t.Fatalf("w=%d trial %d row %d: generic ≠ unrolled", w, trial, i)
+				}
+				if scalar[i] != want[i] {
+					t.Fatalf("w=%d trial %d row %d: scalar run replay %v ≠ kernel Exec %v", w, trial, i, scalar[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSparseSingleBlockRuns pins the q_r = 1 compaction guarantees: rows
+// with a = 0 compact to exactly one run (the Ū→L̄ wrap targets the block
+// itself, and an a = 0 row has no L̄ terms), rows with a > 0 keep two runs —
+// the wrap is a *rotation* within the block, so the gather is not contiguous
+// even though both runs read the same column block — and no run is ever
+// empty. Execution over single-block bands stays bit-identical to the
+// scalar run replay.
+func TestSparseSingleBlockRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, cse := range []struct {
+			mbar     int
+			retained [][]int
+		}{
+			{1, [][]int{{0}}},
+			{4, [][]int{{2}}},
+			{3, [][]int{{1}, nil, {2}}},
+			{2, [][]int{{0, 1}, {1}}}, // mixed q_r: 2 then 1
+		} {
+			s, err := compileSparseMatVec(w, len(cse.retained), cse.mbar, cse.retained)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var runs []Run
+			for r, cols := range cse.retained {
+				for l := 0; l < len(cols)*w; l++ {
+					runs = s.RowRuns(r, l, runs[:0])
+					a := l % w
+					if a == 0 && len(runs) != 1 {
+						t.Fatalf("w=%d band %d row %d (a=0): %d runs, want single-run compaction", w, r, l, len(runs))
+					}
+					if a > 0 && len(runs) != 2 {
+						t.Fatalf("w=%d band %d row %d (a=%d): %d runs, want 2", w, r, l, a, len(runs))
+					}
+					for _, run := range runs {
+						if run.Len <= 0 {
+							t.Fatalf("w=%d band %d row %d: empty run %+v", w, r, l, run)
+						}
+					}
+				}
+			}
+			nbar := len(cse.retained)
+			a := randDense(rng, nbar*w, cse.mbar*w)
+			xp := randFloats(rng, cse.mbar*w)
+			bp := randFloats(rng, nbar*w)
+			y := make([]float64, nbar*w)
+			ybar := make([]float64, s.MaxBandRows)
+			s.Exec(a.Raw(), xp, bp, y, ybar)
+			scalar := replaySparseRuns(s, a.Raw(), xp, bp)
+			for i := range y {
+				if y[i] != scalar[i] {
+					t.Fatalf("w=%d m̄=%d pattern %v row %d: Exec %v ≠ scalar replay %v", w, cse.mbar, cse.retained, i, y[i], scalar[i])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package schedule
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dbt"
@@ -13,6 +14,59 @@ const (
 	matmulExt      = 1 // initIdx indexes the external init values (E pieces)
 	matmulFeedback = 2 // initIdx is the flat output index of the source position
 )
+
+// DelayBin is one bucket of a feedback-delay histogram: Count edges with
+// exactly Delay cycles between emit and inject. Histograms are canonical
+// sorted-by-Delay slices (nil when empty) so the oracle and compiled
+// engines compare with a plain DeepEqual and stats copies are a single
+// allocation instead of a map rebuild.
+type DelayBin struct {
+	Delay, Count int
+}
+
+// BinsFromHistogram converts a delay→count map (the oracle's
+// systolic.DelayHistogram shape) into the canonical sorted bin slice.
+func BinsFromHistogram(h map[int]int) []DelayBin {
+	if len(h) == 0 {
+		return nil
+	}
+	bins := make([]DelayBin, 0, len(h))
+	for d, c := range h {
+		bins = append(bins, DelayBin{Delay: d, Count: c})
+	}
+	// slices.SortFunc, not sort.Slice: the oracle converts histograms per
+	// solve, and sort.Slice's reflect-based swapper allocates.
+	slices.SortFunc(bins, func(a, b DelayBin) int { return a.Delay - b.Delay })
+	return bins
+}
+
+// BinCount returns the edge count recorded for delay in a bin slice — 0
+// when the delay was never observed.
+func BinCount(bins []DelayBin, delay int) int {
+	for _, b := range bins {
+		if b.Delay == delay {
+			return b.Count
+		}
+	}
+	return 0
+}
+
+// BinDelays returns the distinct delays of a histogram, already sorted.
+func BinDelays(bins []DelayBin) []int {
+	out := make([]int, len(bins))
+	for i, b := range bins {
+		out[i] = b.Delay
+	}
+	return out
+}
+
+// copyBins returns an independent copy of a bin slice (nil stays nil).
+func copyBins(bins []DelayBin) []DelayBin {
+	if bins == nil {
+		return nil
+	}
+	return append([]DelayBin(nil), bins...)
+}
 
 // ExtInit locates the E-block element injected at one position: element
 // (A, B) of triangular piece P of E block (R, S), resolved per Solve call
@@ -48,9 +102,10 @@ type MatMul struct {
 	// operation count (the oracle's Activity total).
 	T, MACs int
 
-	// RegularDelays and IrregularDelays histogram the feedback edge delays
-	// (delay → edge count), split as the paper does (§3).
-	RegularDelays, IrregularDelays map[int]int
+	// regDelays and irrDelays are the feedback-delay histograms, split as
+	// the paper does (§3), precomputed sorted at compile time — CopyDelays
+	// hands out copies so the cached plan stays immutable.
+	regDelays, irrDelays []DelayBin
 
 	// ExtInits lists the E-piece descriptors in initIdx order.
 	ExtInits []ExtInit
@@ -67,10 +122,10 @@ func compileMatMul(t *dbt.MatMul) *MatMul {
 	s := &MatMul{
 		W: w, NBar: t.NBar, PBar: t.PBar, MBar: t.MBar,
 		Dim: dim, Band: band,
-		T:               3*(dim-1) + w + 1,
-		RegularDelays:   make(map[int]int),
-		IrregularDelays: make(map[int]int),
+		T: 3*(dim-1) + w + 1,
 	}
+	regular := make(map[int]int)
+	irregular := make(map[int]int)
 
 	// A c-item for result position (ρ, γ) enters the array at cycle
 	// ρ+γ+max(ρ,γ) and accumulates Â[ρ][κ]·B̂[κ][γ] for κ increasing from
@@ -139,9 +194,9 @@ func compileMatMul(t *dbt.MatMul) *MatMul {
 				op.initKind = matmulFeedback
 				op.initIdx = flat(srcRho, srcGamma)
 				if init.Irregular {
-					s.IrregularDelays[inject-emit]++
+					irregular[inject-emit]++
 				} else {
-					s.RegularDelays[inject-emit]++
+					regular[inject-emit]++
 				}
 			}
 			s.MACs += int(op.n)
@@ -153,6 +208,8 @@ func compileMatMul(t *dbt.MatMul) *MatMul {
 	for i, p := range ops {
 		s.ops[i] = p.op
 	}
+	s.regDelays = BinsFromHistogram(regular)
+	s.irrDelays = BinsFromHistogram(irregular)
 	return s
 }
 
@@ -176,9 +233,9 @@ func (s *MatMul) OAt(o []float64, rho, gamma int) float64 {
 // the packed bands (dbt.PackAHat/PackBHat layouts, len Dim·w), ext the
 // resolved E-piece values aligned with ExtInits (nil allowed when empty),
 // and o the output band buffer (len ≥ OLen). Exec performs no allocation;
-// each position accumulates its terms in increasing-κ (cycle) order from
-// the same initialization the array would inject, so results are
-// bit-identical to the structural simulator.
+// each position is one contiguous run of both packed bands accumulated in
+// increasing-κ (cycle) order from the same initialization the array would
+// inject, so results are bit-identical to the structural simulator.
 func (s *MatMul) Exec(aPack, bPack, ext, o []float64) {
 	if len(aPack) < s.Dim*s.W || len(bPack) < s.Dim*s.W || len(o) < s.OLen() || len(ext) < len(s.ExtInits) {
 		panic(fmt.Sprintf("schedule: Exec buffer sizes a=%d b=%d ext=%d o=%d for dim=%d w=%d ext=%d",
@@ -195,11 +252,19 @@ func (s *MatMul) Exec(aPack, bPack, ext, o []float64) {
 		}
 		as := aPack[op.aOff : op.aOff+op.n]
 		bs := bPack[op.bOff : op.bOff+op.n]
+		// Re-slice so the range body is provably in bounds for both runs.
+		bs = bs[:len(as)]
 		for k, a := range as {
 			v += a * bs[k]
 		}
 		o[op.out] = v
 	}
+}
+
+// Bytes returns the resident size of the compiled descriptors — the memory
+// the plan cache pays per shape.
+func (s *MatMul) Bytes() int {
+	return len(s.ops)*20 + len(s.ExtInits)*40 + (len(s.regDelays)+len(s.irrDelays))*16
 }
 
 // Utilization returns MACs/(w²·T) over the measured operation count.
@@ -210,16 +275,10 @@ func (s *MatMul) Utilization() float64 {
 	return float64(s.MACs) / (float64(s.W*s.W) * float64(s.T))
 }
 
-// CopyDelays returns fresh copies of the delay histograms (callers may
-// mutate their stats maps; the cached schedule must stay immutable).
-func (s *MatMul) CopyDelays() (regular, irregular map[int]int) {
-	regular = make(map[int]int, len(s.RegularDelays))
-	for k, v := range s.RegularDelays {
-		regular[k] = v
-	}
-	irregular = make(map[int]int, len(s.IrregularDelays))
-	for k, v := range s.IrregularDelays {
-		irregular[k] = v
-	}
-	return regular, irregular
+// CopyDelays returns independent copies of the precomputed sorted delay
+// histograms (callers may mutate their stats; the cached schedule must stay
+// immutable). One small slice copy each — the former per-call map rebuild
+// was the last allocation on the hex stats path.
+func (s *MatMul) CopyDelays() (regular, irregular []DelayBin) {
+	return copyBins(s.regDelays), copyBins(s.irrDelays)
 }

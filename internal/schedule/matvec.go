@@ -13,14 +13,16 @@
 // feedback edge lands, and every emit/inject cycle are all known before
 // any data arrives. This package is organized as a workload-agnostic
 // plan/replay layer (see plan.go): it compiles each workload's schedule
-// once per shape — dense index arrays, analytic cycle stamps, feedback
-// topology — caches it in a generic bounded concurrency-safe map, and
-// replays it in O(work) with zero allocations and no liveness checks in
-// the hot loop. The sparse matvec, whose schedule depends on the
-// retained-block pattern (data rather than shape), compiles too: its plans
-// are keyed by (shape, pattern digest) and every cache hit is verified
-// against the full pattern so digest collisions recompile instead of
-// corrupting results (see sparse.go).
+// once per shape — contiguous-run descriptors, analytic cycle stamps,
+// feedback topology — caches it in a generic bounded concurrency-safe map,
+// and replays it in O(work) with zero allocations and no liveness checks in
+// the hot loop. The band layout makes every gather a handful of contiguous
+// runs known at compile time, so the replay loops are shared straight-line
+// slice kernels (kernel.go) rather than per-MAC index gathers. The sparse
+// matvec, whose schedule depends on the retained-block pattern (data rather
+// than shape), compiles too: its plans are keyed by (shape, pattern digest)
+// and every cache hit is verified against the full pattern so digest
+// collisions recompile instead of corrupting results (see sparse.go).
 //
 // Execution is bit-identical to the structural engines: per result element
 // the multiply–accumulates run in exactly the cycle order the array would
@@ -34,15 +36,16 @@ package schedule
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dbt"
 )
 
-// matvecInit describes where band row i's accumulator starts.
+// matvecInit describes where a block's accumulators start.
 const (
-	matvecFromB    = 0 // initIdx indexes the padded b vector
-	matvecFeedback = 1 // initIdx is the producing global band row
+	matvecFromB    = 0 // initBase indexes the padded b vector
+	matvecFeedback = 1 // initBase indexes the y buffer (an earlier block's rows)
 )
 
 // MatVec is a compiled schedule for the linear contraflow array: the full
@@ -67,16 +70,40 @@ type MatVec struct {
 	// observation (injection cycle) order.
 	FeedbackDelays []int
 
-	// initKind/initIdx give each band row's accumulator start: an element of
-	// the padded b (matvecFromB) or an earlier row's output (matvecFeedback).
+	// initKind/initBase give each *block's* accumulator start (uniform
+	// across the block's w rows): w elements of the padded b at initBase
+	// (matvecFromB) or an earlier block's outputs at initBase in y
+	// (matvecFeedback). Row a of the block starts from index initBase+a.
 	initKind []uint8
-	initIdx  []int32
+	initBase []int32
+
+	// Grid-replay descriptors (ExecGrid): per block k, the flat offsets of
+	// its Ū and L̄ coefficient runs in the padded matrix's backing storage
+	// and the padded-x column bases they pair with. Compiled only for the
+	// dbt-built transforms, whose PackBand/TransformX are by construction
+	// views of the padded grid — nil for external Transform implementations
+	// (GridReplay reports which).
+	uOff, lOff []int32
+	uCol, lCol []int32
+	stride     int
+
+	// kern selects the replay kernel family for W (kernel.go).
+	kern kern
 }
 
 // OverlapSplit returns the block index at which the overlap mode splits the
 // transformed problem into two sub-problems (a row band boundary, so every
 // feedback chain stays inside one sub-problem).
 func OverlapSplit(nbar, mbar int) int { return (nbar + 1) / 2 * mbar }
+
+// gridIndexed is the compile-time face of a transform whose band blocks are
+// contiguous runs of a padded block grid: block k's Ū coefficients live in
+// block (r, s) of the grid returned by UpperIndex, its L̄ coefficients in
+// the block returned by LowerIndex.
+type gridIndexed interface {
+	UpperIndex(k int) (r, s int)
+	LowerIndex(k int) (r, s int)
+}
 
 // compileMatVec builds the schedule for the shape of t. It returns an
 // error (matching the structural path's failure mode) when the
@@ -96,22 +123,50 @@ func compileMatVec(t dbt.Transform, overlap bool) (*MatVec, error) {
 		W: w, NBar: nbar, MBar: mbar, Overlap: overlap,
 		Rows: rows, XLen: t.BandCols(), BLen: nbar * w,
 		MACs:     rows * w,
-		initKind: make([]uint8, rows),
-		initIdx:  make([]int32, rows),
+		initKind: make([]uint8, blocks),
+		initBase: make([]int32, blocks),
+		kern:     kernelFor(w),
 	}
 
-	// Per-row initialization topology (shape-only: BSource never reads data).
-	for i := 0; i < rows; i++ {
-		k := i / w
+	// Per-block initialization topology (shape-only: BSource never reads
+	// data). A block's w rows start uniformly: from a b block, or from the
+	// producing block's w outputs at feedback distance (k−src)·w ≥ w.
+	for k := 0; k < blocks; k++ {
 		switch src := t.BSource(k); src.Kind {
 		case dbt.FromB:
-			s.initKind[i] = matvecFromB
-			s.initIdx[i] = int32(src.Index*w + i%w)
+			s.initKind[k] = matvecFromB
+			s.initBase[k] = int32(src.Index * w)
 		default:
-			s.initKind[i] = matvecFeedback
-			s.initIdx[i] = int32(i - (k-src.Index)*w)
-			if s.initIdx[i] < 0 || int(s.initIdx[i]) >= i {
-				panic(fmt.Sprintf("schedule: acausal matvec feedback %d → %d", s.initIdx[i], i))
+			s.initKind[k] = matvecFeedback
+			s.initBase[k] = int32(src.Index * w)
+			if src.Index < 0 || src.Index >= k {
+				panic(fmt.Sprintf("schedule: acausal matvec feedback block %d → %d", src.Index, k))
+			}
+		}
+	}
+
+	// Run descriptors for grid replay: the dbt-built transforms pack band
+	// block k by copying row runs out of padded blocks (ru, su) and
+	// (rl, sl), and their x̄ is the padded x re-read block by block (§2
+	// condition 2 makes consecutive blocks share the boundary column), so
+	// the replay can skip both copies and read the grid directly.
+	switch t.(type) {
+	case *dbt.MatVec, *dbt.MatVecByColumns:
+		gi := t.(gridIndexed)
+		stride := mbar * w
+		if int64(nbar)*int64(w)*int64(stride) <= math.MaxInt32 {
+			s.stride = stride
+			s.uOff = make([]int32, blocks)
+			s.lOff = make([]int32, blocks)
+			s.uCol = make([]int32, blocks)
+			s.lCol = make([]int32, blocks)
+			for k := 0; k < blocks; k++ {
+				ru, su := gi.UpperIndex(k)
+				rl, sl := gi.LowerIndex(k)
+				s.uOff[k] = int32(ru*w*stride + su*w)
+				s.lOff[k] = int32(rl*w*stride + sl*w)
+				s.uCol[k] = int32(su * w)
+				s.lCol[k] = int32(sl * w)
 			}
 		}
 	}
@@ -142,9 +197,9 @@ func compileMatVec(t dbt.Transform, overlap bool) (*MatVec, error) {
 				i := k*w + a
 				l := i - r[0]*w
 				emit[i] = off + 2*l + 2*w - 1
-				if s.initKind[i] == matvecFeedback {
+				if s.initKind[k] == matvecFeedback {
 					inj := off + 2*l + w - 1
-					observations = append(observations, obs{inj, pi, inj - emit[s.initIdx[i]]})
+					observations = append(observations, obs{inj, pi, inj - emit[int(s.initBase[k])+a]})
 				}
 			}
 		}
@@ -195,29 +250,88 @@ func compileMatVec(t dbt.Transform, overlap bool) (*MatVec, error) {
 // packed Ā (len Rows·w, dbt.PackBand layout), xbar the transformed x̄
 // (len ≥ XLen), b the padded b̄ (len ≥ BLen), and y the output buffer
 // (len ≥ Rows) receiving every band row's ȳ. Exec performs no allocation;
-// each row accumulates its w terms in the array's cycle order (increasing
-// diagonal), so results are bit-identical to the structural simulator.
+// each row is one contiguous run of the packed band replayed by the shared
+// band kernels in the array's cycle order (increasing diagonal), so results
+// are bit-identical to the structural simulator.
 func (s *MatVec) Exec(band, xbar, b, y []float64) {
 	w := s.W
 	if len(band) < s.Rows*w || len(xbar) < s.XLen || len(b) < s.BLen || len(y) < s.Rows {
 		panic(fmt.Sprintf("schedule: Exec buffer sizes band=%d xbar=%d b=%d y=%d for rows=%d w=%d",
 			len(band), len(xbar), len(b), len(y), s.Rows, w))
 	}
-	kinds, idxs := s.initKind, s.initIdx
-	for i := 0; i < s.Rows; i++ {
-		var v float64
-		if kinds[i] == matvecFromB {
-			v = b[idxs[i]]
+	blocks := s.Rows / w
+	for k := 0; k < blocks; k++ {
+		var ini []float64
+		if s.initKind[k] == matvecFromB {
+			ini = b[s.initBase[k]:]
 		} else {
-			v = y[idxs[i]]
+			ini = y[s.initBase[k]:]
 		}
-		coeffs := band[i*w : (i+1)*w]
-		xs := xbar[i : i+w]
-		for d, c := range coeffs {
-			v += c * xs[d]
+		out := y[k*w:]
+		cb := band[k*w*w:]
+		xs := xbar[k*w:]
+		switch s.kern {
+		case kernW8:
+			bandBlock8(out, ini, cb, xs)
+		case kernW4:
+			bandBlock4(out, ini, cb, xs)
+		default:
+			bandBlockGeneric(out, ini, cb, xs, w)
 		}
-		y[i] = v
 	}
+}
+
+// GridReplay reports whether the plan carries grid-replay descriptors, i.e.
+// whether ExecGrid may be used instead of the pack-then-Exec pipeline.
+func (s *MatVec) GridReplay() bool { return s.uOff != nil }
+
+// ExecGrid runs the compiled schedule directly over the padded operands,
+// skipping both dbt.PackBand and the x̄ transform: aflat is the padded
+// matrix's backing storage (row-major n̄w × m̄w — the transform's
+// Grid.Padded().Raw()), xp the padded x (len ≥ m̄w), b the padded b̄
+// (len ≥ BLen) and y the output buffer (len ≥ Rows). The grid kernels read
+// exactly the elements the pack would have copied, in the same order, so
+// results are bit-identical to Exec over the packed band. Only valid when
+// GridReplay() is true.
+func (s *MatVec) ExecGrid(aflat, xp, b, y []float64) {
+	w := s.W
+	if s.uOff == nil {
+		panic("schedule: ExecGrid on a plan without grid descriptors")
+	}
+	if len(aflat) < s.NBar*w*s.stride || len(xp) < s.stride || len(b) < s.BLen || len(y) < s.Rows {
+		panic(fmt.Sprintf("schedule: ExecGrid buffer sizes a=%d xp=%d b=%d y=%d for rows=%d w=%d stride=%d",
+			len(aflat), len(xp), len(b), len(y), s.Rows, w, s.stride))
+	}
+	blocks := s.Rows / w
+	for k := 0; k < blocks; k++ {
+		var ini []float64
+		if s.initKind[k] == matvecFromB {
+			ini = b[s.initBase[k]:]
+		} else {
+			ini = y[s.initBase[k]:]
+		}
+		out := y[k*w:]
+		u := aflat[s.uOff[k]:]
+		lo := aflat[s.lOff[k]:]
+		xu := xp[s.uCol[k]:]
+		xl := xp[s.lCol[k]:]
+		switch s.kern {
+		case kernW8:
+			gridBlock8(out, ini, u, lo, xu, xl, s.stride)
+		case kernW4:
+			gridBlock4(out, ini, u, lo, xu, xl, s.stride)
+		default:
+			gridBlockGeneric(out, ini, u, lo, xu, xl, s.stride, w)
+		}
+	}
+}
+
+// Bytes returns the resident size of the compiled descriptors — the memory
+// the plan cache pays per shape.
+func (s *MatVec) Bytes() int {
+	return len(s.initKind) + len(s.initBase)*4 +
+		(len(s.uOff)+len(s.lOff)+len(s.uCol)+len(s.lCol))*4 +
+		len(s.FeedbackDelays)*8
 }
 
 // Utilization returns MACs/(w·T), the PE utilization η the array would

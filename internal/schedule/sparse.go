@@ -15,9 +15,12 @@ import "fmt"
 // retained column blocks, scheduled back to back on the same w-PE linear
 // array. The U/L pairing telescopes over the retained subset (Ū_k = U_{r,c_k},
 // L̄_k = L_{r,c_{(k+1) mod q}}), so every coefficient of the compiled band is
-// an element of the padded matrix — the plan precomputes the full gather
-// (coefficient and x̄-stream indices) as dense index arrays and Exec replays
-// them in O(MACs) with no allocation.
+// an element of the padded matrix, and every band row's gather is at most
+// two contiguous runs of it: a Ū run of w−a terms and (for rows with a > 0)
+// an L̄ run of a terms, breaking only at the Ū→L̄ wrap. The plan stores one
+// {Ū column, L̄ column} descriptor per retained block — 8 bytes per w² MACs
+// instead of the former 8 bytes per MAC — and Exec replays each block
+// through the shared grid kernels (kernel.go) in O(MACs) with no allocation.
 type SparseMatVec struct {
 	// W, NBar, MBar identify the shape half of the key.
 	W, NBar, MBar int
@@ -40,11 +43,23 @@ type SparseMatVec struct {
 	q        []int32
 	retained [][]int
 
-	// asrc/xsrc are the per-MAC gather indices into the padded matrix
-	// (row-major, stride m̄w) and the padded x vector, in the exact cycle
-	// order the array realizes (band by band, row by row, increasing
-	// diagonal d).
-	asrc, xsrc []int32
+	// blocks holds one run descriptor per retained block, band-major (band
+	// r owns blocks[boff[r]:boff[r+1]]): the padded-column bases of the
+	// block's Ū coefficients (c_k·w) and L̄ coefficients (c_{(k+1) mod q}·w).
+	// Together with the fixed band-row stride these expand to the per-row
+	// runs (see RowRuns); Exec replays them directly.
+	blocks []sparseBlock
+	boff   []int32
+
+	// kern selects the replay kernel family for W (kernel.go).
+	kern kern
+}
+
+// sparseBlock is the compiled run descriptor of one retained block: the
+// padded-matrix column bases its Ū and L̄ runs read coefficients and x̄
+// elements from.
+type sparseBlock struct {
+	uCol, lCol int32
 }
 
 // compileSparseMatVec builds the schedule for one shape and pattern. It
@@ -62,6 +77,8 @@ func compileSparseMatVec(w, nbar, mbar int, retained [][]int) (*SparseMatVec, er
 		W: w, NBar: nbar, MBar: mbar,
 		q:        make([]int32, nbar),
 		retained: make([][]int, nbar),
+		boff:     make([]int32, nbar+1),
+		kern:     kernelFor(w),
 	}
 	for r, cols := range retained {
 		prev := -1
@@ -77,13 +94,12 @@ func compileSparseMatVec(w, nbar, mbar int, retained [][]int) (*SparseMatVec, er
 	}
 	s.Rows = s.Q * w
 	s.MACs = s.Rows * w
-	s.asrc = make([]int32, 0, s.MACs)
-	s.xsrc = make([]int32, 0, s.MACs)
+	s.blocks = make([]sparseBlock, 0, s.Q)
 
-	stride := mbar * w
 	offset, last := 0, -1
 	for r, cols := range s.retained {
 		qr := len(cols)
+		s.boff[r] = int32(len(s.blocks))
 		if qr == 0 {
 			continue
 		}
@@ -91,36 +107,21 @@ func compileSparseMatVec(w, nbar, mbar int, retained [][]int) (*SparseMatVec, er
 		if rows > s.MaxBandRows {
 			s.MaxBandRows = rows
 		}
-		for i := 0; i < rows; i++ {
-			k, a := i/w, i%w
-			arow := (r*w + a) * stride
-			for d := 0; d < w; d++ {
-				// Coefficient: Ū_k holds the upper triangle of block c_k,
-				// L̄_k the strictly lower triangle of the cyclic successor —
-				// with 0 ≤ d < w both branches always land on a real element.
-				bb := a + d
-				var col int
-				if bb < w {
-					col = cols[k]*w + bb
-				} else {
-					col = cols[(k+1)%qr]*w + (bb - w)
-				}
-				s.asrc = append(s.asrc, int32(arow+col))
-				// x̄ element at band column j: block ⌊j/w⌋ of the retained
-				// list, wrapping to the first block for the w−1 tail.
-				j := i + d
-				kb := j / w
-				if kb >= qr {
-					kb = 0
-				}
-				s.xsrc = append(s.xsrc, int32(cols[kb]*w+j%w))
-			}
+		for k, c := range cols {
+			// Ū_k holds the upper triangle of block c_k, L̄_k the strictly
+			// lower triangle of the cyclic successor — both runs land on real
+			// elements of the padded matrix for every 0 ≤ d < w.
+			s.blocks = append(s.blocks, sparseBlock{
+				uCol: int32(c * w),
+				lCol: int32(cols[(k+1)%qr] * w),
+			})
 		}
 		// Back-to-back program offsets, exactly as the structural path
 		// schedules them; the last program's final MAC fixes T.
 		last = offset + 2*(rows-1) + 2*w - 2
 		offset += 2*w*qr + 2*w - 2
 	}
+	s.boff[nbar] = int32(len(s.blocks))
 	if last >= 0 {
 		s.T = last + 1
 	}
@@ -133,9 +134,9 @@ func compileSparseMatVec(w, nbar, mbar int, retained [][]int) (*SparseMatVec, er
 // output buffer (len ≥ n̄w) and ybar scratch for the in-flight band rows
 // (len ≥ MaxBandRows). Exec performs no allocation; each band row
 // accumulates its w terms in the array's cycle order (increasing diagonal,
-// feedback from the row w earlier), so results are bit-identical to the
-// structural simulator. Row bands with no retained blocks copy bp — they
-// cost no array cycles.
+// feedback from the row w earlier — one grid-kernel block per retained
+// block), so results are bit-identical to the structural simulator. Row
+// bands with no retained blocks copy bp — they cost no array cycles.
 func (s *SparseMatVec) Exec(aflat, xp, bp, y, ybar []float64) {
 	w := s.W
 	if len(aflat) < s.NBar*w*s.MBar*w || len(xp) < s.MBar*w || len(bp) < s.NBar*w ||
@@ -143,32 +144,75 @@ func (s *SparseMatVec) Exec(aflat, xp, bp, y, ybar []float64) {
 		panic(fmt.Sprintf("schedule: sparse Exec buffer sizes a=%d x=%d b=%d y=%d ybar=%d for w=%d n̄=%d m̄=%d maxrows=%d",
 			len(aflat), len(xp), len(bp), len(y), len(ybar), w, s.NBar, s.MBar, s.MaxBandRows))
 	}
-	m := 0
+	stride := s.MBar * w
 	for r := 0; r < s.NBar; r++ {
-		qr := int(s.q[r])
-		if qr == 0 {
+		bs := s.blocks[s.boff[r]:s.boff[r+1]]
+		if len(bs) == 0 {
 			copy(y[r*w:(r+1)*w], bp[r*w:(r+1)*w])
 			continue
 		}
-		rows := qr * w
-		for l := 0; l < rows; l++ {
-			var v float64
-			if l < w {
-				v = bp[r*w+l]
-			} else {
-				v = ybar[l-w]
+		arow := r * w * stride
+		ini := bp[r*w : r*w+w]
+		for kb := range bs {
+			blk := &bs[kb]
+			out := ybar[kb*w : (kb+1)*w]
+			u := aflat[arow+int(blk.uCol):]
+			lo := aflat[arow+int(blk.lCol):]
+			xu := xp[blk.uCol:]
+			xl := xp[blk.lCol:]
+			switch s.kern {
+			case kernW8:
+				gridBlock8(out, ini, u, lo, xu, xl, stride)
+			case kernW4:
+				gridBlock4(out, ini, u, lo, xu, xl, stride)
+			default:
+				gridBlockGeneric(out, ini, u, lo, xu, xl, stride, w)
 			}
-			as := s.asrc[m : m+w]
-			xs := s.xsrc[m : m+w]
-			for d := 0; d < w; d++ {
-				v += aflat[as[d]] * xp[xs[d]]
-			}
-			m += w
-			ybar[l] = v
+			ini = out
 		}
 		// The last block of the chain holds y_r.
-		copy(y[r*w:(r+1)*w], ybar[rows-w:])
+		copy(y[r*w:(r+1)*w], ybar[(len(bs)-1)*w:len(bs)*w])
 	}
+}
+
+// RowRuns appends the contiguous-run descriptors of local band row l of row
+// band r to dst and returns it: a Ū run of w−a terms and, for rows with
+// a = l mod w > 0, an L̄ run of a terms — never an empty run (a = 0 rows
+// compact to a single run, including the q_r = 1 case where the Ū→L̄ wrap
+// targets the block itself). ABase indexes the padded matrix's backing
+// storage, XBase the padded x; expanding the runs term by term reproduces
+// exactly the per-MAC gather sequence the plan compiles away.
+func (s *SparseMatVec) RowRuns(r, l int, dst []Run) []Run {
+	w := s.W
+	stride := s.MBar * w
+	blk := s.blocks[int(s.boff[r])+l/w]
+	a := l % w
+	arow := int32((r*w + a) * stride)
+	dst = append(dst, Run{
+		ABase: arow + blk.uCol + int32(a),
+		XBase: blk.uCol + int32(a),
+		Len:   int32(w - a),
+	})
+	if a > 0 {
+		dst = append(dst, Run{
+			ABase: arow + blk.lCol,
+			XBase: blk.lCol,
+			Len:   int32(a),
+		})
+	}
+	return dst
+}
+
+// Bytes returns the resident size of the compiled descriptors — the memory
+// the plan cache pays per pattern. The run compaction makes this ~8 bytes
+// per retained block (plus the canonical pattern copy) instead of the former
+// 8 bytes per MAC.
+func (s *SparseMatVec) Bytes() int {
+	n := len(s.blocks)*8 + len(s.boff)*4 + len(s.q)*4
+	for _, cols := range s.retained {
+		n += 24 + len(cols)*8
+	}
+	return n
 }
 
 // BandSteps returns the 2w·q_r compute span of row band r's program — 0 for

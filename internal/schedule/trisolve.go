@@ -16,8 +16,11 @@ import (
 // cycle accounting plus the accumulation order: row i's partial sum
 // collects L[i][i−d]·x_{i−d} for d *descending* from w−1 to 1 (the y item
 // meets the farthest diagonal first as it moves left from PE w−1 to the
-// divider at PE 0), then divides by L[i][i]. Exec replays exactly that
-// order, so results are bit-identical to the structural oracle.
+// divider at PE 0), then divides by L[i][i]. Each row is one reversed run
+// with a compile-known clamped span — min(i, w−1) terms — so the replay
+// kernels (kernel.go) carry no per-term boundary branch. Exec replays
+// exactly the array's order, so results are bit-identical to the
+// structural oracle.
 type TriSolve struct {
 	// W is the array size, N the system dimension.
 	W, N int
@@ -27,6 +30,9 @@ type TriSolve struct {
 	// multiply–accumulate count of PEs 1..w−1; Divisions the division count
 	// of PE 0 (= n).
 	T, MACs, Divisions int
+
+	// kern selects the replay kernel family for W (kernel.go).
+	kern kern
 }
 
 // compileTriSolve builds the schedule for an n-dimensional band solve on w
@@ -36,7 +42,7 @@ func compileTriSolve(n, w int) *TriSolve {
 	if w < 1 || n < 0 {
 		panic(fmt.Sprintf("schedule: invalid trisolve shape n=%d w=%d", n, w))
 	}
-	s := &TriSolve{W: w, N: n, Rows: n, Divisions: n}
+	s := &TriSolve{W: w, N: n, Rows: n, Divisions: n, kern: kernelFor(w)}
 	if n == 0 {
 		return s
 	}
@@ -53,22 +59,43 @@ func compileTriSolve(n, w int) *TriSolve {
 // packed lower band (dbt.PackTriBand layout: lband[i*w+d] = L[i][i−d], zero
 // outside the matrix or the stored band), b the right-hand side (len ≥ N)
 // and x the output buffer (len ≥ N). Exec performs no allocation; each row
-// accumulates its terms in the array's cycle order (descending diagonal)
-// from the same zero initialization, so every float64 rounding step matches
-// the structural simulator. Like the oracle, it panics on a zero diagonal.
+// is one reversed run clamped to min(i, w−1) terms, accumulated in the
+// array's cycle order (descending diagonal) from the same zero
+// initialization, so every float64 rounding step matches the structural
+// simulator. Like the oracle, it panics on a zero diagonal.
 func (s *TriSolve) Exec(lband, b, x []float64) {
 	w := s.W
 	if len(lband) < s.N*w || len(b) < s.N || len(x) < s.N {
 		panic(fmt.Sprintf("schedule: Exec buffer sizes lband=%d b=%d x=%d for n=%d w=%d",
 			len(lband), len(b), len(x), s.N, w))
 	}
-	for i := 0; i < s.N; i++ {
+	// Head rows i < w−1: only diagonals d ≤ i land inside the matrix, so the
+	// run clamps to i terms — the boundary the per-term branch used to test.
+	head := w - 1
+	if head > s.N {
+		head = s.N
+	}
+	for i := 0; i < head; i++ {
+		row := lband[i*w : (i+1)*w]
+		v := dotRunRev(0, row[1:i+1], x[:i])
+		diag := row[0]
+		if diag == 0 {
+			panic(fmt.Sprintf("trisolve: zero diagonal at row %d", i))
+		}
+		x[i] = (b[i] - v) / diag
+	}
+	// Full rows carry exactly w−1 terms: a constant-length reversed run the
+	// width specializations unroll.
+	for i := head; i < s.N; i++ {
 		row := lband[i*w : (i+1)*w]
 		var v float64
-		for d := w - 1; d >= 1; d-- {
-			if j := i - d; j >= 0 {
-				v += row[d] * x[j]
-			}
+		switch s.kern {
+		case kernW8:
+			v = dotRunRev7(0, row[1:], x[i-7:])
+		case kernW4:
+			v = dotRunRev3(0, row[1:], x[i-3:])
+		default:
+			v = dotRunRev(0, row[1:w], x[i-w+1:i])
 		}
 		diag := row[0]
 		if diag == 0 {
@@ -77,6 +104,10 @@ func (s *TriSolve) Exec(lband, b, x []float64) {
 		x[i] = (b[i] - v) / diag
 	}
 }
+
+// Bytes returns the resident size of the compiled descriptors — zero beyond
+// the fixed struct: the trisolve plan is fully analytic.
+func (s *TriSolve) Bytes() int { return 0 }
 
 // Activity returns the per-PE operation counts the array would measure: PE
 // d ≥ 1 one MAC per row i ≥ d, PE 0 one division per row, Cycles = T.

@@ -30,6 +30,7 @@ package sparse
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/blockpart"
 	"repro/internal/core"
@@ -47,6 +48,14 @@ type MatVec struct {
 	// Retained[r] lists, in increasing order, the column blocks kept for
 	// row band r (empty when the whole band is zero).
 	Retained [][]int
+
+	// plan caches the compiled schedule for this transform's pattern after
+	// the first compiled solve. Retained is immutable after NewMatVec, so
+	// the cached plan can never go stale; repeat solves on the same
+	// transform skip the pattern-keyed cache lookup (digest + full pattern
+	// verification) entirely. Plans are immutable and shared, so publishing
+	// the pointer is safe from any goroutine.
+	plan atomic.Pointer[schedule.SparseMatVec]
 }
 
 // PatternKey canonically identifies a sparse matvec schedule: the shape
@@ -178,12 +187,12 @@ func (t *MatVec) checkLens(x, b matrix.Vector) error {
 	return nil
 }
 
-// solveCompiled resolves the pattern-keyed plan — through memo when
-// non-nil, the global cache otherwise — and replays it over pooled
-// scratch.
-func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector) (*Result, error) {
-	if err := t.checkLens(x, b); err != nil {
-		return nil, err
+// planFor resolves the compiled plan for t's pattern: the transform's own
+// cached pointer when already published, else through memo (when non-nil)
+// or the global pattern-keyed cache, publishing the result for later calls.
+func (t *MatVec) planFor(memo *schedule.PlanMemo) (*schedule.SparseMatVec, error) {
+	if p := t.plan.Load(); p != nil {
+		return p, nil
 	}
 	var plan *schedule.SparseMatVec
 	var err error
@@ -192,6 +201,21 @@ func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector) (*Re
 	} else {
 		plan, err = schedule.SparseMatVecFor(t.W, t.NBar, t.MBar, t.Retained)
 	}
+	if err != nil {
+		return nil, err
+	}
+	t.plan.Store(plan)
+	return plan, nil
+}
+
+// solveCompiled resolves the pattern-keyed plan — through memo when
+// non-nil, the global cache otherwise — and replays it over pooled
+// scratch.
+func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector) (*Result, error) {
+	if err := t.checkLens(x, b); err != nil {
+		return nil, err
+	}
+	plan, err := t.planFor(memo)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +268,7 @@ func (t *MatVec) PassInto(ar *core.Arena, dst, x, b matrix.Vector, eng core.Engi
 	if err := t.checkLens(x, b); err != nil {
 		return 0, err
 	}
-	plan, err := ar.Plans().SparseMatVecFor(t.W, t.NBar, t.MBar, t.Retained)
+	plan, err := t.planFor(ar.Plans())
 	if err != nil {
 		return 0, err
 	}
