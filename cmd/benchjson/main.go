@@ -9,7 +9,11 @@
 // trip at 0 allocs/op after warmup, plus deep-pipeline jobs/s, plus the
 // pattern-routed sparse-stream rows, plus the solve-as-a-service rows of
 // E17 — a warm streamed full direct solve at 0 allocs/op and a 128-deep
-// solve-qps pipeline reporting solves/s), the robustness rows of E18 — the
+// solve-qps pipeline reporting solves/s), the batched-replay rows of E20 —
+// k right-hand sides through one pattern-keyed plan, priced against k
+// independent solves (the speedup-vs-loop metric), plus the overlapped
+// two-program schedule row and the one-ticket batch stream rows — the
+// robustness rows of E18 — the
 // partially pivoted solve and the pivoted+refined solve on a row-scrambled
 // system, pricing what "no input returns garbage" costs over the unpivoted
 // fast path — the steady-state compiled
@@ -367,6 +371,69 @@ func main() {
 			}))
 	}
 
+	// Batched replay at the same E16 stencil (E20): k right-hand sides
+	// through one pattern-keyed plan. The loop row prices k independent
+	// SolveEngine calls; the batch row streams the same k vectors through
+	// PassManyInto on a reused arena (0 allocs/op warm) and carries the
+	// speedup-vs-loop metric — the ≥1.5× batch acceptance criterion.
+	for _, bk := range []int{4, 16} {
+		bxs := make([]matrix.Vector, bk)
+		bbs := make([]matrix.Vector, bk)
+		bdsts := make([]matrix.Vector, bk)
+		for v := range bxs {
+			bxs[v] = matrix.RandomVector(rng, snb*sw, 3)
+			bbs[v] = matrix.RandomVector(rng, snb*sw, 3)
+			bdsts[v] = make(matrix.Vector, str.N)
+		}
+		loopRow := bench(fmt.Sprintf("sparse-batch-loop/w=%d/nb=%d/k=%d", sw, snb, bk),
+			map[string]float64{"k": float64(bk)}, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for v := range bxs {
+						if _, err := str.SolveEngine(bxs[v], bbs[v], core.EngineCompiled); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		bar := core.NewArena()
+		batchRow := bench(fmt.Sprintf("sparse-batch/w=%d/nb=%d/k=%d", sw, snb, bk),
+			map[string]float64{"k": float64(bk)}, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bar.Reset()
+					if _, err := str.PassManyInto(bar, bdsts, bxs, bbs, core.EngineCompiled); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		batchRow.Metrics["speedup-vs-loop"] = loopRow.NsPerOp / batchRow.NsPerOp
+		entries = append(entries, loopRow, batchRow)
+	}
+
+	// Two-program overlapped schedule form at the E16 stencil: consecutive
+	// band programs share the array on opposite injection parities, so the
+	// compiled solve reports TOverlap steps and the lifted utilization —
+	// same Y and per-PE stats, fewer cycles.
+	entries = append(entries, bench(fmt.Sprintf("sparse-overlap/w=%d/nb=%d/tridiag/compiled", sw, snb),
+		map[string]float64{
+			"steps-overlap":   float64(spPlan.TOverlap),
+			"steps-serial":    float64(spPlan.T),
+			"utilization":     spPlan.OverlapUtilization(),
+			"utilization-ser": spPlan.Utilization(),
+		}, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := str.SolveOverlappedEngine(sx, sb, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.T), "steps")
+				}
+			}
+		}))
+
 	// Steady-state compiled execution (schedule cached, buffers reused):
 	// the 0 allocs/op core of the engine.
 	tv := dbt.NewMatVec(av, 8)
@@ -508,6 +575,41 @@ func main() {
 				}
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		}))
+		// One batch ticket carrying k vectors through the pattern-routed
+		// shard: the batched counterpart of the row above — amortized
+		// per-vector cost, still 0 allocs/op warm.
+		const batchK = 4
+		bsdsts := make([]matrix.Vector, batchK)
+		bsxs := make([]matrix.Vector, batchK)
+		bsbs := make([]matrix.Vector, batchK)
+		for k := range bsdsts {
+			bsdsts[k] = make(matrix.Vector, str.N)
+			bsxs[k] = matrix.RandomVector(rng, str.M, 3)
+			bsbs[k] = matrix.RandomVector(rng, str.N, 3)
+		}
+		entries = append(entries, bench(fmt.Sprintf("sparse-batch-stream/w=%d/nb=%d/k=%d/%s", sw, snb, batchK, name), metrics, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < 64; i++ {
+				tk, err := s.SubmitSparseBatchInto(bsdsts, str, bsxs, bsbs, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tk, err := s.SubmitSparseBatchInto(bsdsts, str, bsxs, bsbs, core.EngineCompiled)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchK*b.N)/b.Elapsed().Seconds(), "vectors/s")
 		}))
 		// Solve-as-a-service (E17): the full direct solve (BlockLU + both
 		// triangular phases) streamed as an Into ticket on the warm

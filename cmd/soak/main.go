@@ -11,7 +11,11 @@
 // pattern-keyed differential: random retained-block patterns solved on the
 // structural simulator, the compiled pattern-keyed plan and an arena pass,
 // all DeepEqual and matched against host arithmetic and the closed-form
-// step count. The solvers category also
+// step count. The sparse-batch category extends that differential to the
+// batched replay — random batch depths through SolveMany and the arena
+// PassManyInto, every vector DeepEqual its per-vector solve — and to the
+// overlapped two-program schedule form, which must keep Y and the per-PE
+// stats while never taking more steps. The solvers category also
 // exercises the full direct solve and the block-partitioned embedding, and
 // replays block LU, the full solve and the triangular inverse on the
 // intra-solve pass executor (independent passes fanned across simulated
@@ -90,6 +94,7 @@ func main() {
 	run("matvec", *n, func() { matvecCase(rng, *maxw) })
 	run("matmul", *n, func() { matmulCase(rng, *maxw) })
 	run("sparse", *n/2, func() { sparseCase(rng, *maxw) })
+	run("sparse-batch", *n/2, func() { sparseBatchCase(rng, *maxw) })
 	run("solvers", *n/5, func() { solverCase(rng, *maxw) })
 	run("batch", *n/10, func() { batchCase(rng, *maxw) })
 	run("stream", *n/10, func() { streamCase(rng, *maxw) })
@@ -353,6 +358,90 @@ func sparseCase(rng *rand.Rand, maxw int) {
 // sparseArena is the arena the sparse category replays compiled passes on
 // — one owner goroutine, pattern-keyed plan memo warmed across cases.
 var sparseArena = core.NewArena()
+
+// sparseBatchCase is the batched-replay differential: a random batch of
+// right-hand sides through SolveMany on a random engine must match the
+// per-vector solves element for element (whole Results DeepEqual), the
+// arena PassManyInto must reproduce the same outputs, and the overlapped
+// two-program schedule form must return the same Y and per-PE stats as the
+// back-to-back solve — on both its structural and compiled forms — in no
+// more steps.
+func sparseBatchCase(rng *rand.Rand, maxw int) {
+	w := 1 + rng.Intn(maxw)
+	nb := 1 + rng.Intn(5)
+	mb := 1 + rng.Intn(5)
+	a := matrix.NewDense(nb*w, mb*w)
+	for r := 0; r < nb; r++ {
+		for s := 0; s < mb; s++ {
+			if rng.Float64() < 0.5 {
+				for i := 0; i < w; i++ {
+					for j := 0; j < w; j++ {
+						a.Set(r*w+i, s*w+j, float64(rng.Intn(9)-4))
+					}
+				}
+			}
+		}
+	}
+	tr := sparse.NewMatVec(a, w)
+	k := 1 + rng.Intn(6)
+	xs := make([]matrix.Vector, k)
+	bs := make([]matrix.Vector, k)
+	for v := range xs {
+		xs[v] = matrix.RandomVector(rng, mb*w, 5)
+		if rng.Intn(3) > 0 {
+			bs[v] = matrix.RandomVector(rng, nb*w, 5)
+		}
+	}
+	eng := []core.Engine{core.EngineOracle, core.EngineCompiled, core.EngineAuto}[rng.Intn(3)]
+	serial := make([]*sparse.Result, k)
+	for v := range xs {
+		res, err := tr.SolveEngine(xs[v], bs[v], eng)
+		if err != nil {
+			fail("sparse-batch serial solve: %v", err)
+			return
+		}
+		serial[v] = res
+	}
+	batched, err := tr.SolveMany(xs, bs, eng)
+	if err != nil {
+		fail("sparse-batch SolveMany: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(batched, serial) {
+		fail("sparse-batch diverges from per-vector solves (w=%d n̄=%d m̄=%d k=%d eng=%v)", w, nb, mb, k, eng)
+	}
+	dsts := make([]matrix.Vector, k)
+	for v := range dsts {
+		dsts[v] = make(matrix.Vector, tr.N)
+	}
+	sparseArena.Reset()
+	steps, err := tr.PassManyInto(sparseArena, dsts, xs, bs, core.EngineCompiled)
+	if err != nil {
+		fail("sparse-batch pass: %v", err)
+		return
+	}
+	for v := range dsts {
+		if steps != serial[v].T || !dsts[v].Equal(serial[v].Y, 0) {
+			fail("sparse-batch pass vector %d differs from serial (w=%d n̄=%d m̄=%d k=%d)", v, w, nb, mb, k)
+		}
+	}
+	ov, err := tr.SolveOverlappedEngine(xs[0], bs[0], core.EngineCompiled)
+	if err != nil {
+		fail("sparse-batch overlapped solve: %v", err)
+		return
+	}
+	ovS, err := tr.SolveOverlappedEngine(xs[0], bs[0], core.EngineOracle)
+	if err != nil {
+		fail("sparse-batch overlapped structural solve: %v", err)
+		return
+	}
+	if !reflect.DeepEqual(ov, ovS) {
+		fail("sparse-batch overlapped forms disagree (w=%d n̄=%d m̄=%d)", w, nb, mb)
+	}
+	if !ov.Y.Equal(serial[0].Y, 0) || !reflect.DeepEqual(ov.MACs, serial[0].MACs) || ov.T > serial[0].T {
+		fail("sparse-batch overlap changed results (w=%d n̄=%d m̄=%d T=%d vs %d)", w, nb, mb, ov.T, serial[0].T)
+	}
+}
 
 func solverCase(rng *rand.Rand, maxw int) {
 	if maxw < 2 {

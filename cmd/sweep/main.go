@@ -1,10 +1,12 @@
 // Command sweep regenerates the paper's quantitative results (experiments
-// E1–E16 of DESIGN.md): step-count formulas, utilization asymptotes,
-// feedback delays, register demands, baseline comparisons, the sparsity
-// ablation, the §4 variants, the execution-engine comparisons for the
-// matrix-product and solver workloads, the intra-solve parallel executor
-// scaling, the stream scheduler, and the pattern-keyed sparse plan ladder —
-// each as a table of paper-predicted vs simulator-measured values.
+// E1–E16 and E20 of DESIGN.md): step-count formulas, utilization
+// asymptotes, feedback delays, register demands, baseline comparisons, the
+// sparsity ablation, the §4 variants, the execution-engine comparisons for
+// the matrix-product and solver workloads, the intra-solve parallel
+// executor scaling, the stream scheduler, the pattern-keyed sparse plan
+// ladder, and the batched-replay depth ladder with the overlapped
+// two-program schedule form — each as a table of paper-predicted vs
+// simulator-measured values.
 //
 // Usage:
 //
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (E1..E16); empty = all")
+	exp := flag.String("exp", "", "experiment id (E1..E16, E20); empty = all")
 	flag.Parse()
 	exps := []struct {
 		id  string
@@ -56,6 +58,7 @@ func main() {
 		{"E14", e14, "intra-solve parallelism: pass executor scaling on BlockLU and the full solve"},
 		{"E15", e15, "stream scheduler: sustained mixed-shape stream throughput across shard counts"},
 		{"E16", e16, "pattern-keyed sparse plans: compiled engine across retained-block densities"},
+		{"E20", e20, "batched replay depth ladder and the overlapped two-program schedule form"},
 	}
 	ran := false
 	for _, e := range exps {
@@ -685,4 +688,107 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
+}
+
+// e20 measures the batched replay and the overlapped two-program schedule
+// form at the E16-style block-tridiagonal stencil. The depth ladder streams
+// k right-hand sides through one pattern-keyed plan — every batched Result
+// required DeepEqual to its per-vector solve — and prices the batch against
+// k independent compiled solves. The overlap summary then pairs consecutive
+// band programs on opposite injection parities: same Y and per-PE MAC
+// counts as the back-to-back schedule (compiled and structural forms
+// DeepEqual), fewer cycles, utilization lifted toward the dense bound.
+func e20() {
+	r := rng()
+	w, nb := 4, 16
+	a := matrix.NewDense(nb*w, nb*w)
+	for br := 0; br < nb; br++ {
+		for _, bc := range []int{br - 1, br, br + 1} {
+			if bc < 0 || bc >= nb {
+				continue
+			}
+			for i := 0; i < w; i++ {
+				for j := 0; j < w; j++ {
+					a.Set(br*w+i, bc*w+j, float64(r.Intn(9)-4))
+				}
+			}
+		}
+	}
+	tr := sparse.NewMatVec(a, w)
+	ar := core.NewArena()
+	fmt.Printf("  block-tridiagonal stencil w=%d n̄=%d, compiled engine; every batched\n", w, nb)
+	fmt.Println("  Result DeepEqual its per-vector solve; looped = k SolveEngine calls,")
+	fmt.Println("  batched = one arena PassManyInto (the 0-alloc streaming path):")
+	fmt.Println("      k     looped    batched   speedup")
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		xs := make([]matrix.Vector, k)
+		bs := make([]matrix.Vector, k)
+		for v := range xs {
+			xs[v] = matrix.RandomVector(r, nb*w, 3)
+			bs[v] = matrix.RandomVector(r, nb*w, 3)
+		}
+		serial := make([]*sparse.Result, k)
+		for v := range xs { // warm the plan cache, build the reference
+			res, err := tr.SolveEngine(xs[v], bs[v], core.EngineCompiled)
+			check(err)
+			serial[v] = res
+		}
+		batched, err := tr.SolveMany(xs, bs, core.EngineCompiled)
+		check(err)
+		if !reflect.DeepEqual(batched, serial) {
+			fmt.Fprintf(os.Stderr, "sweep: batched results diverge from per-vector solves at k=%d\n", k)
+			os.Exit(1)
+		}
+		dsts := make([]matrix.Vector, k)
+		for v := range dsts {
+			dsts[v] = make(matrix.Vector, tr.N)
+		}
+		ar.Reset()
+		if _, err := tr.PassManyInto(ar, dsts, xs, bs, core.EngineCompiled); err != nil {
+			check(err)
+		}
+		for v := range dsts {
+			if !dsts[v].Equal(serial[v].Y, 0) {
+				fmt.Fprintf(os.Stderr, "sweep: batched pass vector %d diverges at k=%d\n", v, k)
+				os.Exit(1)
+			}
+		}
+		const reps = 400
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			for v := range xs {
+				_, err := tr.SolveEngine(xs[v], bs[v], core.EngineCompiled)
+				check(err)
+			}
+		}
+		loop := time.Since(start) / reps
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			ar.Reset()
+			_, err := tr.PassManyInto(ar, dsts, xs, bs, core.EngineCompiled)
+			check(err)
+		}
+		batch := time.Since(start) / reps
+		fmt.Printf("   %4d  %9s  %9s   %6.2fx\n", k, loop, batch, float64(loop)/float64(batch))
+	}
+
+	xv := matrix.RandomVector(r, nb*w, 3)
+	bv := matrix.RandomVector(r, nb*w, 3)
+	base, err := tr.SolveEngine(xv, bv, core.EngineCompiled)
+	check(err)
+	ovC, err := tr.SolveOverlappedEngine(xv, bv, core.EngineCompiled)
+	check(err)
+	ovO, err := tr.SolveOverlappedEngine(xv, bv, core.EngineOracle)
+	check(err)
+	if !reflect.DeepEqual(ovC, ovO) {
+		fmt.Fprintln(os.Stderr, "sweep: overlapped engines disagree")
+		os.Exit(1)
+	}
+	if !ovC.Y.Equal(base.Y, 0) || !reflect.DeepEqual(ovC.MACs, base.MACs) {
+		fmt.Fprintln(os.Stderr, "sweep: overlapped schedule changed the results")
+		os.Exit(1)
+	}
+	fmt.Printf("  overlap (structural and compiled forms DeepEqual, Y and per-PE MACs\n")
+	fmt.Printf("  unchanged): T %d → %d steps, utilization %.3f → %.3f (%.2fx)\n",
+		base.T, ovC.T, base.Utilization, ovC.Utilization, ovC.Utilization/base.Utilization)
 }

@@ -252,6 +252,333 @@ func gridBlock4(out, ini, u, lo, xu, xl []float64, s int) {
 	out[3] = v3
 }
 
+// gridBlock4x2 replays one w = 4 block for two independent right-hand-side
+// vectors in a single pass — the batched-replay kernel behind ExecMany. Each
+// coefficient is loaded once and feeds both vectors' accumulator chains,
+// doubling the independent add chains per load: the single-vector kernel's
+// four chains leave the adder latency-bound, eight keep it busy. Per vector
+// every row's terms stay in gridBlock4's increasing-diagonal order (the two
+// vectors are independent problems; interleaving them never reassociates
+// within a row), so each output is bit-identical to two separate calls.
+func gridBlock4x2(out0, out1, ini0, ini1, u, lo, xu0, xl0, xu1, xl1 []float64, s int) {
+	xu0 = xu0[:4:4]
+	xl0 = xl0[:4:4]
+	xu1 = xu1[:4:4]
+	xl1 = xl1[:4:4]
+	ini0 = ini0[:4]
+	ini1 = ini1[:4]
+	p0, p1, p2, p3 := ini0[0], ini0[1], ini0[2], ini0[3]
+	q0, q1, q2, q3 := ini1[0], ini1[1], ini1[2], ini1[3]
+	// d = 0
+	c := u[0]
+	p0 += c * xu0[0]
+	q0 += c * xu1[0]
+	c = u[s+1]
+	p1 += c * xu0[1]
+	q1 += c * xu1[1]
+	c = u[2*s+2]
+	p2 += c * xu0[2]
+	q2 += c * xu1[2]
+	c = u[3*s+3]
+	p3 += c * xu0[3]
+	q3 += c * xu1[3]
+	// d = 1
+	c = u[1]
+	p0 += c * xu0[1]
+	q0 += c * xu1[1]
+	c = u[s+2]
+	p1 += c * xu0[2]
+	q1 += c * xu1[2]
+	c = u[2*s+3]
+	p2 += c * xu0[3]
+	q2 += c * xu1[3]
+	c = lo[3*s]
+	p3 += c * xl0[0]
+	q3 += c * xl1[0]
+	// d = 2
+	c = u[2]
+	p0 += c * xu0[2]
+	q0 += c * xu1[2]
+	c = u[s+3]
+	p1 += c * xu0[3]
+	q1 += c * xu1[3]
+	c = lo[2*s]
+	p2 += c * xl0[0]
+	q2 += c * xl1[0]
+	c = lo[3*s+1]
+	p3 += c * xl0[1]
+	q3 += c * xl1[1]
+	// d = 3
+	c = u[3]
+	p0 += c * xu0[3]
+	q0 += c * xu1[3]
+	c = lo[s]
+	p1 += c * xl0[0]
+	q1 += c * xl1[0]
+	c = lo[2*s+1]
+	p2 += c * xl0[1]
+	q2 += c * xl1[1]
+	c = lo[3*s+2]
+	p3 += c * xl0[2]
+	q3 += c * xl1[2]
+	out0 = out0[:4]
+	out0[0] = p0
+	out0[1] = p1
+	out0[2] = p2
+	out0[3] = p3
+	out1 = out1[:4]
+	out1[0] = q0
+	out1[1] = q1
+	out1[2] = q2
+	out1[3] = q3
+}
+
+// gridBlock8x2 is the two-vector batched kernel for w = 8: two diagonal-major
+// quads of rows, each quad carrying both vectors' accumulators (eight live
+// chains per quad — the same load-once/feed-both structure as gridBlock4x2).
+func gridBlock8x2(out0, out1, ini0, ini1, u, lo, xu0, xl0, xu1, xl1 []float64, s int) {
+	xu0 = xu0[:8:8]
+	xl0 = xl0[:8:8]
+	xu1 = xu1[:8:8]
+	xl1 = xl1[:8:8]
+	ini0 = ini0[:8]
+	ini1 = ini1[:8]
+	out0 = out0[:8]
+	out1 = out1[:8]
+	{
+		p0, p1, p2, p3 := ini0[0], ini0[1], ini0[2], ini0[3]
+		q0, q1, q2, q3 := ini1[0], ini1[1], ini1[2], ini1[3]
+		// d = 0
+		c := u[0]
+		p0 += c * xu0[0]
+		q0 += c * xu1[0]
+		c = u[s+1]
+		p1 += c * xu0[1]
+		q1 += c * xu1[1]
+		c = u[2*s+2]
+		p2 += c * xu0[2]
+		q2 += c * xu1[2]
+		c = u[3*s+3]
+		p3 += c * xu0[3]
+		q3 += c * xu1[3]
+		// d = 1
+		c = u[1]
+		p0 += c * xu0[1]
+		q0 += c * xu1[1]
+		c = u[s+2]
+		p1 += c * xu0[2]
+		q1 += c * xu1[2]
+		c = u[2*s+3]
+		p2 += c * xu0[3]
+		q2 += c * xu1[3]
+		c = u[3*s+4]
+		p3 += c * xu0[4]
+		q3 += c * xu1[4]
+		// d = 2
+		c = u[2]
+		p0 += c * xu0[2]
+		q0 += c * xu1[2]
+		c = u[s+3]
+		p1 += c * xu0[3]
+		q1 += c * xu1[3]
+		c = u[2*s+4]
+		p2 += c * xu0[4]
+		q2 += c * xu1[4]
+		c = u[3*s+5]
+		p3 += c * xu0[5]
+		q3 += c * xu1[5]
+		// d = 3
+		c = u[3]
+		p0 += c * xu0[3]
+		q0 += c * xu1[3]
+		c = u[s+4]
+		p1 += c * xu0[4]
+		q1 += c * xu1[4]
+		c = u[2*s+5]
+		p2 += c * xu0[5]
+		q2 += c * xu1[5]
+		c = u[3*s+6]
+		p3 += c * xu0[6]
+		q3 += c * xu1[6]
+		// d = 4
+		c = u[4]
+		p0 += c * xu0[4]
+		q0 += c * xu1[4]
+		c = u[s+5]
+		p1 += c * xu0[5]
+		q1 += c * xu1[5]
+		c = u[2*s+6]
+		p2 += c * xu0[6]
+		q2 += c * xu1[6]
+		c = u[3*s+7]
+		p3 += c * xu0[7]
+		q3 += c * xu1[7]
+		// d = 5
+		c = u[5]
+		p0 += c * xu0[5]
+		q0 += c * xu1[5]
+		c = u[s+6]
+		p1 += c * xu0[6]
+		q1 += c * xu1[6]
+		c = u[2*s+7]
+		p2 += c * xu0[7]
+		q2 += c * xu1[7]
+		c = lo[3*s]
+		p3 += c * xl0[0]
+		q3 += c * xl1[0]
+		// d = 6
+		c = u[6]
+		p0 += c * xu0[6]
+		q0 += c * xu1[6]
+		c = u[s+7]
+		p1 += c * xu0[7]
+		q1 += c * xu1[7]
+		c = lo[2*s]
+		p2 += c * xl0[0]
+		q2 += c * xl1[0]
+		c = lo[3*s+1]
+		p3 += c * xl0[1]
+		q3 += c * xl1[1]
+		// d = 7
+		c = u[7]
+		p0 += c * xu0[7]
+		q0 += c * xu1[7]
+		c = lo[s]
+		p1 += c * xl0[0]
+		q1 += c * xl1[0]
+		c = lo[2*s+1]
+		p2 += c * xl0[1]
+		q2 += c * xl1[1]
+		c = lo[3*s+2]
+		p3 += c * xl0[2]
+		q3 += c * xl1[2]
+		out0[0] = p0
+		out0[1] = p1
+		out0[2] = p2
+		out0[3] = p3
+		out1[0] = q0
+		out1[1] = q1
+		out1[2] = q2
+		out1[3] = q3
+	}
+	{
+		p4, p5, p6, p7 := ini0[4], ini0[5], ini0[6], ini0[7]
+		q4, q5, q6, q7 := ini1[4], ini1[5], ini1[6], ini1[7]
+		// d = 0
+		c := u[4*s+4]
+		p4 += c * xu0[4]
+		q4 += c * xu1[4]
+		c = u[5*s+5]
+		p5 += c * xu0[5]
+		q5 += c * xu1[5]
+		c = u[6*s+6]
+		p6 += c * xu0[6]
+		q6 += c * xu1[6]
+		c = u[7*s+7]
+		p7 += c * xu0[7]
+		q7 += c * xu1[7]
+		// d = 1
+		c = u[4*s+5]
+		p4 += c * xu0[5]
+		q4 += c * xu1[5]
+		c = u[5*s+6]
+		p5 += c * xu0[6]
+		q5 += c * xu1[6]
+		c = u[6*s+7]
+		p6 += c * xu0[7]
+		q6 += c * xu1[7]
+		c = lo[7*s]
+		p7 += c * xl0[0]
+		q7 += c * xl1[0]
+		// d = 2
+		c = u[4*s+6]
+		p4 += c * xu0[6]
+		q4 += c * xu1[6]
+		c = u[5*s+7]
+		p5 += c * xu0[7]
+		q5 += c * xu1[7]
+		c = lo[6*s]
+		p6 += c * xl0[0]
+		q6 += c * xl1[0]
+		c = lo[7*s+1]
+		p7 += c * xl0[1]
+		q7 += c * xl1[1]
+		// d = 3
+		c = u[4*s+7]
+		p4 += c * xu0[7]
+		q4 += c * xu1[7]
+		c = lo[5*s]
+		p5 += c * xl0[0]
+		q5 += c * xl1[0]
+		c = lo[6*s+1]
+		p6 += c * xl0[1]
+		q6 += c * xl1[1]
+		c = lo[7*s+2]
+		p7 += c * xl0[2]
+		q7 += c * xl1[2]
+		// d = 4
+		c = lo[4*s]
+		p4 += c * xl0[0]
+		q4 += c * xl1[0]
+		c = lo[5*s+1]
+		p5 += c * xl0[1]
+		q5 += c * xl1[1]
+		c = lo[6*s+2]
+		p6 += c * xl0[2]
+		q6 += c * xl1[2]
+		c = lo[7*s+3]
+		p7 += c * xl0[3]
+		q7 += c * xl1[3]
+		// d = 5
+		c = lo[4*s+1]
+		p4 += c * xl0[1]
+		q4 += c * xl1[1]
+		c = lo[5*s+2]
+		p5 += c * xl0[2]
+		q5 += c * xl1[2]
+		c = lo[6*s+3]
+		p6 += c * xl0[3]
+		q6 += c * xl1[3]
+		c = lo[7*s+4]
+		p7 += c * xl0[4]
+		q7 += c * xl1[4]
+		// d = 6
+		c = lo[4*s+2]
+		p4 += c * xl0[2]
+		q4 += c * xl1[2]
+		c = lo[5*s+3]
+		p5 += c * xl0[3]
+		q5 += c * xl1[3]
+		c = lo[6*s+4]
+		p6 += c * xl0[4]
+		q6 += c * xl1[4]
+		c = lo[7*s+5]
+		p7 += c * xl0[5]
+		q7 += c * xl1[5]
+		// d = 7
+		c = lo[4*s+3]
+		p4 += c * xl0[3]
+		q4 += c * xl1[3]
+		c = lo[5*s+4]
+		p5 += c * xl0[4]
+		q5 += c * xl1[4]
+		c = lo[6*s+5]
+		p6 += c * xl0[5]
+		q6 += c * xl1[5]
+		c = lo[7*s+6]
+		p7 += c * xl0[6]
+		q7 += c * xl1[6]
+		out0[4] = p4
+		out0[5] = p5
+		out0[6] = p6
+		out0[7] = p7
+		out1[4] = q4
+		out1[5] = q5
+		out1[6] = q6
+		out1[7] = q7
+	}
+}
+
 // gridBlock8 is gridBlockGeneric unrolled for w = 8: two diagonal-major
 // quads of rows (eight live accumulators would spill).
 func gridBlock8(out, ini, u, lo, xu, xl []float64, s int) {

@@ -118,6 +118,43 @@ func TestGridKernelsPinned(t *testing.T) {
 	}
 }
 
+// TestGridKernelsX2Pinned: the two-vector batched kernels are bit-identical,
+// per vector, to two separate single-vector calls — the property that lets
+// ExecMany pair vectors without disturbing any rounding trail.
+func TestGridKernelsX2Pinned(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, w := range []int{4, 8} {
+		for _, stride := range []int{w, w + 3, 3 * w} {
+			for trial := 0; trial < 30; trial++ {
+				u := randFloats(rng, (w-1)*stride+w)
+				lo := randFloats(rng, (w-1)*stride+w)
+				xu0, xl0 := randFloats(rng, w), randFloats(rng, w)
+				xu1, xl1 := randFloats(rng, w), randFloats(rng, w)
+				ini0, ini1 := randFloats(rng, w), randFloats(rng, w)
+				want0 := make([]float64, w)
+				want1 := make([]float64, w)
+				got0 := make([]float64, w)
+				got1 := make([]float64, w)
+				switch w {
+				case 4:
+					gridBlock4(want0, ini0, u, lo, xu0, xl0, stride)
+					gridBlock4(want1, ini1, u, lo, xu1, xl1, stride)
+					gridBlock4x2(got0, got1, ini0, ini1, u, lo, xu0, xl0, xu1, xl1, stride)
+				case 8:
+					gridBlock8(want0, ini0, u, lo, xu0, xl0, stride)
+					gridBlock8(want1, ini1, u, lo, xu1, xl1, stride)
+					gridBlock8x2(got0, got1, ini0, ini1, u, lo, xu0, xl0, xu1, xl1, stride)
+				}
+				for a := 0; a < w; a++ {
+					if got0[a] != want0[a] || got1[a] != want1[a] {
+						t.Fatalf("w=%d s=%d trial %d row %d: x2 kernel diverges from two single calls", w, stride, trial, a)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestRevKernelsPinned: dotRunRev3/dotRunRev7 bit-identical to dotRunRev.
 func TestRevKernelsPinned(t *testing.T) {
 	rng := rand.New(rand.NewSource(93))

@@ -34,6 +34,18 @@ type SparseMatVec struct {
 	// 2w−3 pipeline tail — exactly 0 when Q = 0 (empty bands cost nothing).
 	T int
 
+	// TOverlap is the step count of the overlapped schedule form (paper §2
+	// applied to the §4 band programs): consecutive active band programs are
+	// paired, and the second of each pair is offset one cycle into the first,
+	// so its injections land on the first program's idle parity cycles — the
+	// two programs share the array with no structural conflict (the linear
+	// simulator's collision panics prove it) and each pair advances the
+	// schedule by max of the two spans instead of their sum. Results and
+	// per-PE MAC counts are identical to the back-to-back form; only the
+	// step count (and with it utilization) changes. Equal to T when at most
+	// one band is active, exactly 0 when Q = 0.
+	TOverlap int
+
 	// MaxBandRows is the largest per-band row count q_r·w — the scratch
 	// length Exec needs for the in-flight band outputs.
 	MaxBandRows int
@@ -125,6 +137,36 @@ func compileSparseMatVec(w, nbar, mbar int, retained [][]int) (*SparseMatVec, er
 	if last >= 0 {
 		s.T = last + 1
 	}
+
+	// Overlapped form: walk the active-band program spans pairwise. The
+	// first program of a pair sits at an even offset, the second one cycle
+	// later on the opposite injection parity; the pair advances the offset
+	// by the larger span (spans are even, so pair starts stay even and the
+	// parity split holds for the whole schedule). A program's last MAC is
+	// at offset + span − 2, exactly as in the back-to-back form.
+	var spans []int
+	for _, cols := range s.retained {
+		if len(cols) > 0 {
+			spans = append(spans, 2*w*len(cols)+2*w-2)
+		}
+	}
+	offset, last = 0, -1
+	for p := 0; p < len(spans); p += 2 {
+		adv := spans[p]
+		last = offset + spans[p] - 2
+		if p+1 < len(spans) {
+			if lc := offset + 1 + spans[p+1] - 2; lc > last {
+				last = lc
+			}
+			if spans[p+1] > adv {
+				adv = spans[p+1]
+			}
+		}
+		offset += adv
+	}
+	if last >= 0 {
+		s.TOverlap = last + 1
+	}
 	return s, nil
 }
 
@@ -173,6 +215,102 @@ func (s *SparseMatVec) Exec(aflat, xp, bp, y, ybar []float64) {
 		// The last block of the chain holds y_r.
 		copy(y[r*w:(r+1)*w], ybar[(len(bs)-1)*w:len(bs)*w])
 	}
+}
+
+// ExecMany replays the compiled schedule over k right-hand-side vectors in
+// one call — the batched counterpart of Exec. The operand buffers hold the
+// k problems strided: xp is k padded x vectors at stride m̄w, bp and y are k
+// padded b/output vectors at stride n̄w, and ybar is k in-flight band
+// scratch regions at stride MaxBandRows. ExecMany performs no allocation
+// and visits the plan band-major with the vectors innermost per retained
+// block, so each block's coefficient runs are decoded once and stay hot in
+// cache across the whole batch; at the specialized widths vectors run in
+// pairs through the x2 grid kernels, each coefficient load feeding two
+// independent accumulator chains — the amortization and extra ILP that make
+// a batch beat k independent Exec calls. Per result element the w terms
+// accumulate in
+// exactly Exec's order (vectors are independent problems; interleaving them
+// never reassociates within a row), so every vector's output is
+// bit-identical to a lone Exec of that vector.
+func (s *SparseMatVec) ExecMany(aflat, xp, bp, y, ybar []float64, k int) {
+	w := s.W
+	xs, ys := s.MBar*w, s.NBar*w
+	if k < 1 || len(aflat) < s.NBar*w*s.MBar*w || len(xp) < k*xs || len(bp) < k*ys ||
+		len(y) < k*ys || len(ybar) < k*s.MaxBandRows {
+		panic(fmt.Sprintf("schedule: sparse ExecMany buffer sizes a=%d x=%d b=%d y=%d ybar=%d for k=%d w=%d n̄=%d m̄=%d maxrows=%d",
+			len(aflat), len(xp), len(bp), len(y), len(ybar), k, w, s.NBar, s.MBar, s.MaxBandRows))
+	}
+	stride := s.MBar * w
+	for r := 0; r < s.NBar; r++ {
+		bs := s.blocks[s.boff[r]:s.boff[r+1]]
+		if len(bs) == 0 {
+			for v := 0; v < k; v++ {
+				copy(y[v*ys+r*w:v*ys+(r+1)*w], bp[v*ys+r*w:v*ys+(r+1)*w])
+			}
+			continue
+		}
+		arow := r * w * stride
+		for kb := range bs {
+			blk := &bs[kb]
+			u := aflat[arow+int(blk.uCol):]
+			lo := aflat[arow+int(blk.lCol):]
+			operands := func(v int) (out, ini, xu, xl []float64) {
+				out = ybar[v*s.MaxBandRows+kb*w : v*s.MaxBandRows+(kb+1)*w]
+				if kb == 0 {
+					ini = bp[v*ys+r*w : v*ys+r*w+w]
+				} else {
+					ini = ybar[v*s.MaxBandRows+(kb-1)*w : v*s.MaxBandRows+kb*w]
+				}
+				xu = xp[v*xs+int(blk.uCol):]
+				xl = xp[v*xs+int(blk.lCol):]
+				return
+			}
+			// The specialized widths run vector *pairs* through the x2
+			// kernels — one coefficient load feeds both accumulator chains —
+			// with a single-vector call mopping up an odd tail.
+			v := 0
+			switch s.kern {
+			case kernW8:
+				for ; v+1 < k; v += 2 {
+					out0, ini0, xu0, xl0 := operands(v)
+					out1, ini1, xu1, xl1 := operands(v + 1)
+					gridBlock8x2(out0, out1, ini0, ini1, u, lo, xu0, xl0, xu1, xl1, stride)
+				}
+				if v < k {
+					out, ini, xu, xl := operands(v)
+					gridBlock8(out, ini, u, lo, xu, xl, stride)
+				}
+			case kernW4:
+				for ; v+1 < k; v += 2 {
+					out0, ini0, xu0, xl0 := operands(v)
+					out1, ini1, xu1, xl1 := operands(v + 1)
+					gridBlock4x2(out0, out1, ini0, ini1, u, lo, xu0, xl0, xu1, xl1, stride)
+				}
+				if v < k {
+					out, ini, xu, xl := operands(v)
+					gridBlock4(out, ini, u, lo, xu, xl, stride)
+				}
+			default:
+				for ; v < k; v++ {
+					out, ini, xu, xl := operands(v)
+					gridBlockGeneric(out, ini, u, lo, xu, xl, stride, w)
+				}
+			}
+		}
+		for v := 0; v < k; v++ {
+			copy(y[v*ys+r*w:v*ys+(r+1)*w], ybar[v*s.MaxBandRows+(len(bs)-1)*w:v*s.MaxBandRows+len(bs)*w])
+		}
+	}
+}
+
+// OverlapUtilization returns MACs/(w·TOverlap), the PE utilization of the
+// overlapped schedule form (0 when the schedule is empty) — the figure the
+// §2 overlapping lifts toward the dense bound.
+func (s *SparseMatVec) OverlapUtilization() float64 {
+	if s.TOverlap == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(s.W) * float64(s.TOverlap))
 }
 
 // RowRuns appends the contiguous-run descriptors of local band row l of row

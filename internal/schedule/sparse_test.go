@@ -199,6 +199,123 @@ func TestSparsePlanStepFormula(t *testing.T) {
 	}
 }
 
+// TestSparseOverlapStepFormula pins the overlapped schedule's step count
+// against an independent pairwise walk of the active-band spans: pairs sit
+// at offsets (o, o+1), advance by the larger span, and the schedule ends one
+// cycle after the last MAC. TOverlap never exceeds T, matches it whenever
+// there is at most one active band (nothing to pair), and is zero for the
+// empty schedule.
+func TestSparseOverlapStepFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 80; trial++ {
+		w := 1 + rng.Intn(4)
+		nbar := 1 + rng.Intn(6)
+		mbar := 1 + rng.Intn(5)
+		pat := make([][]int, nbar)
+		for r := range pat {
+			for s := 0; s < mbar; s++ {
+				if rng.Intn(2) == 0 {
+					pat[r] = append(pat[r], s)
+				}
+			}
+		}
+		s, err := SparseMatVecFor(w, nbar, mbar, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var spans []int
+		for _, cols := range pat {
+			if len(cols) > 0 {
+				spans = append(spans, 2*w*len(cols)+2*w-2)
+			}
+		}
+		offset, want := 0, 0
+		for p := 0; p < len(spans); p += 2 {
+			end := offset + spans[p] - 1
+			adv := spans[p]
+			if p+1 < len(spans) {
+				if e := offset + 1 + spans[p+1] - 1; e > end {
+					end = e
+				}
+				if spans[p+1] > adv {
+					adv = spans[p+1]
+				}
+			}
+			if end > want {
+				want = end
+			}
+			offset += adv
+		}
+		if s.TOverlap != want {
+			t.Fatalf("w=%d pattern %v: TOverlap=%d, pairwise walk gives %d", w, pat, s.TOverlap, want)
+		}
+		if s.TOverlap > s.T {
+			t.Fatalf("w=%d pattern %v: TOverlap=%d exceeds T=%d", w, pat, s.TOverlap, s.T)
+		}
+		if s.ActiveBands() <= 1 && s.TOverlap != s.T {
+			t.Fatalf("w=%d pattern %v: single program must not change span: TOverlap=%d T=%d", w, pat, s.TOverlap, s.T)
+		}
+		if s.Q == 0 && (s.TOverlap != 0 || s.OverlapUtilization() != 0) {
+			t.Fatalf("empty schedule has an overlap span: %+v", s)
+		}
+		if s.Q > 0 && s.OverlapUtilization() != float64(s.MACs)/(float64(w)*float64(s.TOverlap)) {
+			t.Fatalf("OverlapUtilization disagrees with its formula")
+		}
+	}
+}
+
+// TestSparseExecManyBitIdentity: batched replay over k vectors returns
+// bit-identical results to k sequential Exec calls, for every kernel width
+// class and including empty bands and k=1.
+func TestSparseExecManyBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		w := 1 + rng.Intn(8)
+		nbar := 1 + rng.Intn(5)
+		mbar := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(6)
+		pat := make([][]int, nbar)
+		for r := range pat {
+			for s := 0; s < mbar; s++ {
+				if rng.Intn(3) > 0 {
+					pat[r] = append(pat[r], s)
+				}
+			}
+		}
+		s, err := SparseMatVecFor(w, nbar, mbar, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := matrix.RandomDense(rng, nbar*w, mbar*w, 5)
+		xs, ys := mbar*w, nbar*w
+		xp := make([]float64, k*xs)
+		bp := make([]float64, k*ys)
+		for i := range xp {
+			xp[i] = rng.NormFloat64()
+		}
+		for i := range bp {
+			bp[i] = rng.NormFloat64()
+		}
+		got := make([]float64, k*ys)
+		ybar := make([]float64, k*s.MaxBandRows)
+		if s.MaxBandRows == 0 {
+			ybar = make([]float64, k) // ExecMany length check wants ≥ k·MaxBandRows
+		}
+		s.ExecMany(a.Raw(), xp, bp, got, ybar, k)
+		one := make([]float64, ys)
+		oneBar := make([]float64, s.MaxBandRows)
+		for v := 0; v < k; v++ {
+			s.Exec(a.Raw(), xp[v*xs:(v+1)*xs], bp[v*ys:(v+1)*ys], one, oneBar)
+			for i := range one {
+				if got[v*ys+i] != one[i] {
+					t.Fatalf("w=%d k=%d pattern %v: vector %d diverges at %d: batched %v serial %v",
+						w, k, pat, v, i, got[v*ys+i], one[i])
+				}
+			}
+		}
+	}
+}
+
 // TestSparsePlanEvictionWhileInUse pushes the bounded sparse cache past its
 // cap (forcing the drop-and-rebuild rotation) while other goroutines keep
 // replaying a plan resolved before the rotation — the same immutability

@@ -7,9 +7,11 @@
 //	GET  /stats                                                →  queue depths + per-shard EWMA + stream counters
 //	GET  /healthz                                              →  {"status":"ok","shards":N} liveness probe
 //
-// The mapping is exact: queue saturation (stream.ErrSaturated) returns
-// 429 with a Retry-After header, deadline failures — shed at admission or
-// expired while queued (stream.ErrDeadlineExceeded) — return 504, a
+// The mapping is exact: deadline failures — shed at admission, expired
+// while queued, or a retry loop that ran out of deadline
+// (stream.ErrDeadlineExceeded, checked before saturation because a retry
+// give-up wraps both sentinels) — return 504, queue saturation
+// (stream.ErrSaturated) returns 429 with a Retry-After header, a
 // singular system (*solve.SingularError) returns 422 with the pivot index,
 // an unconverged refinement (*solve.IllConditionedError) returns 422 with
 // the condition report, malformed requests return 400, a closed stream
@@ -292,12 +294,16 @@ func (srv *Server) writeFailure(rw http.ResponseWriter, err error) {
 	var serr *solve.SingularError
 	var cerr *solve.IllConditionedError
 	switch {
+	// Deadline first: SubmitWithRetry's give-up error wraps BOTH sentinels
+	// (the last ErrSaturated wrapped with ErrDeadlineExceeded), and a
+	// request whose deadline ran out is a timeout, not a retryable 429 —
+	// Retry-After would invite a retry the deadline already disallows.
+	case errors.Is(err, stream.ErrDeadlineExceeded):
+		writeError(rw, http.StatusGatewayTimeout, err)
 	case errors.Is(err, stream.ErrSaturated):
 		secs := int((srv.retryAfter + time.Second - 1) / time.Second)
 		rw.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(rw, http.StatusTooManyRequests, err)
-	case errors.Is(err, stream.ErrDeadlineExceeded):
-		writeError(rw, http.StatusGatewayTimeout, err)
 	case errors.As(err, &serr):
 		idx := serr.Index
 		writeJSON(rw, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error(), PivotIndex: &idx})

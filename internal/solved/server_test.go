@@ -3,6 +3,7 @@ package solved
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -237,6 +238,46 @@ func TestSolveEndpoint504Deadline(t *testing.T) {
 	}
 	if got.Error == "" {
 		t.Error("504 response carries no error message")
+	}
+}
+
+// TestWriteFailurePrecedence is the regression for the 429/504 ordering:
+// SubmitWithRetry's give-up error wraps BOTH stream sentinels (the last
+// ErrSaturated wrapped with ErrDeadlineExceeded) and must map to 504 — the
+// deadline is spent, so a Retry-After hint would invite a doomed retry —
+// while a plain saturation still maps to 429 with Retry-After.
+func TestWriteFailurePrecedence(t *testing.T) {
+	s := stream.New(stream.Config{Shards: 1})
+	defer s.Close()
+	srv := New(Config{Stream: s})
+	// Manufacture the exact double-wrapped shape SubmitWithRetry returns
+	// when its deadline runs out against a saturated scheduler.
+	gaveUp := stream.SubmitWithRetry(stream.Retry{Base: 10 * time.Millisecond}, time.Now().Add(time.Millisecond), func() error {
+		return stream.ErrSaturated
+	})
+	if !errors.Is(gaveUp, stream.ErrDeadlineExceeded) || !errors.Is(gaveUp, stream.ErrSaturated) {
+		t.Fatalf("retry give-up %v must wrap both sentinels", gaveUp)
+	}
+	rec := httptest.NewRecorder()
+	srv.writeFailure(rec, gaveUp)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("double-wrapped give-up mapped to %d, want 504", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("504 must not carry a Retry-After hint")
+	}
+	rec = httptest.NewRecorder()
+	srv.writeFailure(rec, stream.ErrSaturated)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("plain saturation mapped to %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 lost its Retry-After hint")
+	}
+	rec = httptest.NewRecorder()
+	srv.writeFailure(rec, &stream.DeadlineError{Expired: true})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("plain deadline expiry mapped to %d, want 504", rec.Code)
 	}
 }
 

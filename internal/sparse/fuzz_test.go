@@ -81,6 +81,49 @@ func FuzzSparseMatVec(f *testing.F) {
 		if steps != want.T || !dst.Equal(want.Y, 0) {
 			t.Fatalf("PassInto diverges from structural (w=%d pattern=%v)", w, tr.Retained)
 		}
+		// Batched replay: k fresh right-hand sides through one plan must be
+		// bit-identical, Result by Result, to k independent solves.
+		k := 1 + int(uint64(seed)%4)
+		xs := make([]matrix.Vector, k)
+		bs := make([]matrix.Vector, k)
+		for v := range xs {
+			xs[v] = matrix.RandomVector(rng, mb*w, 4)
+			if (int(uint64(seed))+v)%2 == 0 {
+				bs[v] = matrix.RandomVector(rng, nb*w, 4)
+			}
+		}
+		many, err := tr.SolveMany(xs, bs, core.EngineCompiled)
+		if err != nil {
+			t.Fatalf("SolveMany: %v", err)
+		}
+		for v := range many {
+			one, err := tr.SolveEngine(xs[v], bs[v], core.EngineOracle)
+			if err != nil {
+				t.Fatalf("oracle vector %d: %v", v, err)
+			}
+			if !reflect.DeepEqual(many[v], one) {
+				t.Fatalf("batched vector %d diverges from its independent solve (w=%d k=%d pattern=%v):\nbatched %+v\nlooped  %+v",
+					v, w, k, tr.Retained, many[v], one)
+			}
+		}
+		// Overlap: pairwise-interleaved programs on the collision-checked
+		// array produce the same values and per-PE MACs in no more steps,
+		// and the compiled TOverlap matches the measured run exactly.
+		ov, err := tr.SolveOverlapped(x, b)
+		if err != nil {
+			t.Fatalf("SolveOverlapped: %v", err)
+		}
+		ovc, err := tr.SolveOverlappedEngine(x, b, core.EngineCompiled)
+		if err != nil {
+			t.Fatalf("SolveOverlappedEngine: %v", err)
+		}
+		if !reflect.DeepEqual(ovc, ov) {
+			t.Fatalf("compiled overlap diverges from structural (w=%d pattern=%v):\ncompiled %+v\noracle   %+v",
+				w, tr.Retained, ovc, ov)
+		}
+		if !ov.Y.Equal(want.Y, 0) || !reflect.DeepEqual(ov.MACs, want.MACs) || ov.T > want.T {
+			t.Fatalf("overlap changed the computation (w=%d pattern=%v): T=%d vs %d", w, tr.Retained, ov.T, want.T)
+		}
 	})
 }
 

@@ -26,6 +26,15 @@
 // pattern on every hit and recompiles on a digest collision. Results and
 // statistics (T, utilization, per-PE MAC counts) are bit-identical between
 // the engines; the fuzz and soak differentials enforce it.
+//
+// Two schedule refinements ride on the same plans (DESIGN.md §13). Batched
+// replay (SolveMany/PassManyInto) streams k right-hand sides through one
+// compiled pattern, touching each retained coefficient block once per
+// batch; every vector's result is bit-identical to its independent solve.
+// Overlap (SolveOverlapped[Engine]) interleaves consecutive band programs
+// pairwise at offsets (o, o+1) so each occupies the other's idle injection
+// parity — the paper's §2 two-program trick — shrinking T toward half
+// while leaving every computed value and per-PE MAC count untouched.
 package sparse
 
 import (
@@ -156,7 +165,28 @@ func (t *MatVec) SolveEngine(x, b matrix.Vector, eng core.Engine) (*Result, erro
 	if !useCompiled {
 		return t.Solve(x, b)
 	}
-	return t.solveCompiled(nil, x, b)
+	return t.solveCompiled(nil, x, b, false)
+}
+
+// SolveOverlappedEngine is SolveEngine in the paper's §2 overlap mode: the
+// active row-band programs run pairwise interleaved, the second program of
+// each pair offset one cycle from the first so it occupies the first's idle
+// injection parity. Values, Q and per-PE MAC counts are identical to the
+// back-to-back schedule (the overlap moves MACs in time, never reorders a
+// row's accumulation); T shrinks toward half and Utilization rises toward
+// the paper's η → 1 bound. The structural engine actually runs the paired
+// programs on the collision-checked array — the parity claim is simulated,
+// not assumed — and the compiled engine reports the plan's precomputed
+// TOverlap, bit-identical to the measured value.
+func (t *MatVec) SolveOverlappedEngine(x, b matrix.Vector, eng core.Engine) (*Result, error) {
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	if !useCompiled {
+		return t.SolveOverlapped(x, b)
+	}
+	return t.solveCompiled(nil, x, b, true)
 }
 
 // SolveEngineOn is SolveEngine with compiled plans resolved through ar's
@@ -173,7 +203,7 @@ func (t *MatVec) SolveEngineOn(ar *core.Arena, x, b matrix.Vector, eng core.Engi
 	if !useCompiled {
 		return t.Solve(x, b)
 	}
-	return t.solveCompiled(ar.Plans(), x, b)
+	return t.solveCompiled(ar.Plans(), x, b, false)
 }
 
 // checkLens validates the operand lengths shared by every solve path.
@@ -210,8 +240,10 @@ func (t *MatVec) planFor(memo *schedule.PlanMemo) (*schedule.SparseMatVec, error
 
 // solveCompiled resolves the pattern-keyed plan — through memo when
 // non-nil, the global cache otherwise — and replays it over pooled
-// scratch.
-func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector) (*Result, error) {
+// scratch. With overlapped set it reports the overlapped schedule's step
+// count and utilization; the replayed values are identical either way (the
+// overlap changes when MACs happen, never what they compute).
+func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector, overlapped bool) (*Result, error) {
 	if err := t.checkLens(x, b); err != nil {
 		return nil, err
 	}
@@ -233,25 +265,148 @@ func (t *MatVec) solveCompiled(memo *schedule.PlanMemo, x, b matrix.Vector) (*Re
 	schedule.PutFloats(bp)
 	schedule.PutFloats(ybar)
 	res := &Result{Y: y[:t.N], T: plan.T, Q: plan.Q, Utilization: plan.Utilization()}
+	if overlapped {
+		res.T, res.Utilization = plan.TOverlap, plan.OverlapUtilization()
+	}
 	if plan.Q > 0 {
 		res.MACs = plan.PEMACs(make([]int, w))
 	}
 	return res, nil
 }
 
+// batchB returns the v-th right-hand side of a batch, where a nil bs means
+// every vector solves with b = 0.
+func batchB(bs []matrix.Vector, v int) matrix.Vector {
+	if bs == nil {
+		return nil
+	}
+	return bs[v]
+}
+
+// checkBatch validates a batch of operands: at least one vector, matching
+// batch lengths, and per-vector operand lengths.
+func (t *MatVec) checkBatch(xs, bs []matrix.Vector) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("sparse: empty batch")
+	}
+	if bs != nil && len(bs) != len(xs) {
+		return fmt.Errorf("sparse: batch has %d x vectors but %d b vectors", len(xs), len(bs))
+	}
+	for v := range xs {
+		if err := t.checkLens(xs[v], batchB(bs, v)); err != nil {
+			return fmt.Errorf("sparse: batch vector %d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// SolveMany computes y_v = A·x_v + b_v for every right-hand side of a batch
+// in one pass over the pattern: the compiled engine packs all k vectors
+// into strided buffers and replays the plan once via ExecMany, touching
+// each retained coefficient block once per batch instead of once per
+// vector. bs may be nil (every b is zero) or per-entry nil; otherwise
+// len(bs) must equal len(xs). Each Result is exactly what SolveEngine
+// would have returned for that vector — values, T, utilization and per-PE
+// MAC counts are bit-identical to k independent solves on either engine.
+func (t *MatVec) SolveMany(xs, bs []matrix.Vector, eng core.Engine) ([]*Result, error) {
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	if !useCompiled {
+		return t.solveManySerial(xs, bs)
+	}
+	return t.solveManyCompiled(nil, xs, bs)
+}
+
+// SolveManyOn is SolveMany with compiled plans resolved through ar's
+// pattern-keyed plan memo, the batched counterpart of SolveEngineOn. The
+// stream scheduler's SubmitSparseBatch tickets run it on their
+// pattern-affinity shard's arena.
+func (t *MatVec) SolveManyOn(ar *core.Arena, xs, bs []matrix.Vector, eng core.Engine) ([]*Result, error) {
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return nil, err
+	}
+	if !useCompiled {
+		return t.solveManySerial(xs, bs)
+	}
+	return t.solveManyCompiled(ar.Plans(), xs, bs)
+}
+
+// solveManySerial is the oracle batch path: k independent structural
+// solves, the DeepEqual baseline of the batched differentials.
+func (t *MatVec) solveManySerial(xs, bs []matrix.Vector) ([]*Result, error) {
+	if err := t.checkBatch(xs, bs); err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(xs))
+	for v := range xs {
+		res, err := t.Solve(xs[v], batchB(bs, v))
+		if err != nil {
+			return nil, err
+		}
+		out[v] = res
+	}
+	return out, nil
+}
+
+// solveManyCompiled packs the batch into strided pooled buffers and replays
+// the plan once over all k vectors.
+func (t *MatVec) solveManyCompiled(memo *schedule.PlanMemo, xs, bs []matrix.Vector) ([]*Result, error) {
+	if err := t.checkBatch(xs, bs); err != nil {
+		return nil, err
+	}
+	plan, err := t.planFor(memo)
+	if err != nil {
+		return nil, err
+	}
+	w, k := t.W, len(xs)
+	xw, yw := t.MBar*w, t.NBar*w
+	xp := schedule.GetFloatsUninit(k * xw)
+	bp := schedule.GetFloatsUninit(k * yw)
+	for v := range xs {
+		copy((*xp)[v*xw:], xs[v])
+		clear((*xp)[v*xw+len(xs[v]) : (v+1)*xw])
+		bv := batchB(bs, v)
+		copy((*bp)[v*yw:], bv)
+		clear((*bp)[v*yw+len(bv) : (v+1)*yw])
+	}
+	y := schedule.GetFloatsUninit(k * yw)
+	ybar := schedule.GetFloatsUninit(k * plan.MaxBandRows)
+	plan.ExecMany(t.Grid.Padded().Raw(), *xp, *bp, *y, *ybar, k)
+	out := make([]*Result, k)
+	for v := range out {
+		yv := matrix.NewVector(yw)
+		copy(yv, (*y)[v*yw:(v+1)*yw])
+		res := &Result{Y: yv[:t.N], T: plan.T, Q: plan.Q, Utilization: plan.Utilization()}
+		if plan.Q > 0 {
+			res.MACs = plan.PEMACs(make([]int, w))
+		}
+		out[v] = res
+	}
+	schedule.PutFloats(xp)
+	schedule.PutFloats(bp)
+	schedule.PutFloats(y)
+	schedule.PutFloats(ybar)
+	return out, nil
+}
+
 // PassInto computes dst = A·x + b (b may be nil) as one sparse pass on the
 // selected engine, drawing every buffer and the pattern-keyed plan memo
 // from ar, and returns the pass's measured step count T. dst must have
-// length A.Rows() and must not alias x or b. On the compiled engine the
-// warm steady state — plan memoized on the arena, buffers reused —
-// allocates nothing; the oracle engine runs the structural simulator
-// (allocating freely) and copies the result, so both engines write
-// bit-identical values. It is the sparse counterpart of core.Arena's
-// MatVecPass, and what the stream scheduler's sparse Into jobs run on
-// their shard's arena.
+// length A.Rows() and must not alias x or b; like every other operand
+// validation failure it reports a mismatched dst as a returned error, so a
+// malformed Into job arriving through the stream surfaces as a validation
+// error rather than a panic. On the compiled engine the warm steady state —
+// plan memoized on the arena, buffers reused — allocates nothing; the
+// oracle engine runs the structural simulator (allocating freely) and
+// copies the result, so both engines write bit-identical values. It is the
+// sparse counterpart of core.Arena's MatVecPass, and what the stream
+// scheduler's sparse Into jobs run on their shard's arena.
 func (t *MatVec) PassInto(ar *core.Arena, dst, x, b matrix.Vector, eng core.Engine) (int, error) {
 	if len(dst) != t.N {
-		panic(fmt.Sprintf("sparse: PassInto dst len %d, want %d", len(dst), t.N))
+		return 0, fmt.Errorf("sparse: dst len %d, want %d", len(dst), t.N)
 	}
 	useCompiled, err := eng.Resolve(false)
 	if err != nil {
@@ -286,10 +441,85 @@ func (t *MatVec) PassInto(ar *core.Arena, dst, x, b matrix.Vector, eng core.Engi
 	return plan.T, nil
 }
 
+// PassManyInto is the batched PassInto: dsts[v] = A·xs[v] + bs[v] for every
+// vector of the batch in one ExecMany replay, drawing every buffer and the
+// plan memo from ar, and returns the per-pass step count T (every vector
+// replays the same schedule). Operand rules follow SolveMany (bs may be nil
+// or hold nil entries); every dst must have length A.Rows() and must not
+// alias any x or b — mismatches come back as errors, never panics. On the
+// compiled engine the warm steady state allocates nothing; the oracle
+// engine loops the structural simulator, bit-identical per vector.
+func (t *MatVec) PassManyInto(ar *core.Arena, dsts, xs, bs []matrix.Vector, eng core.Engine) (int, error) {
+	if len(dsts) != len(xs) {
+		return 0, fmt.Errorf("sparse: batch has %d dst vectors but %d x vectors", len(dsts), len(xs))
+	}
+	for v := range dsts {
+		if len(dsts[v]) != t.N {
+			return 0, fmt.Errorf("sparse: batch dst %d len %d, want %d", v, len(dsts[v]), t.N)
+		}
+	}
+	if err := t.checkBatch(xs, bs); err != nil {
+		return 0, err
+	}
+	useCompiled, err := eng.Resolve(false)
+	if err != nil {
+		return 0, err
+	}
+	if !useCompiled {
+		steps := 0
+		for v := range xs {
+			res, err := t.Solve(xs[v], batchB(bs, v))
+			if err != nil {
+				return 0, err
+			}
+			copy(dsts[v], res.Y)
+			steps = res.T
+		}
+		return steps, nil
+	}
+	plan, err := t.planFor(ar.Plans())
+	if err != nil {
+		return 0, err
+	}
+	w, k := t.W, len(xs)
+	xw, yw := t.MBar*w, t.NBar*w
+	xp := ar.Floats(k * xw)
+	bp := ar.Floats(k * yw)
+	for v := range xs {
+		copy(xp[v*xw:], xs[v])
+		clear(xp[v*xw+len(xs[v]) : (v+1)*xw])
+		bv := batchB(bs, v)
+		copy(bp[v*yw:], bv)
+		clear(bp[v*yw+len(bv) : (v+1)*yw])
+	}
+	y := ar.Floats(k * yw)
+	ybar := ar.Floats(k * plan.MaxBandRows)
+	plan.ExecMany(t.Grid.Padded().Raw(), xp, bp, y, ybar, k)
+	for v := range dsts {
+		copy(dsts[v], y[v*yw:v*yw+t.N])
+	}
+	return plan.T, nil
+}
+
 // Solve computes y = A·x + b on a w-PE linear array, skipping zero blocks,
 // on the cycle-accurate structural simulator (the verification oracle of
 // the compiled path — see SolveEngine).
 func (t *MatVec) Solve(x, b matrix.Vector) (*Result, error) {
+	return t.solveStructural(x, b, false)
+}
+
+// SolveOverlapped is the structural overlap run: consecutive active
+// row-band programs are scheduled in pairs at offsets (o, o+1) — opposite
+// injection parities, so the pair shares the array collision-free (the
+// simulator panics on any structural conflict, making this a checked
+// claim) — and each pair advances the offset by the larger of its two
+// spans. See SolveOverlappedEngine for the contract with the compiled
+// counterpart.
+func (t *MatVec) SolveOverlapped(x, b matrix.Vector) (*Result, error) {
+	return t.solveStructural(x, b, true)
+}
+
+func (t *MatVec) solveStructural(x, b matrix.Vector, overlapped bool) (*Result, error) {
 	if err := t.checkLens(x, b); err != nil {
 		return nil, err
 	}
@@ -305,15 +535,35 @@ func (t *MatVec) Solve(x, b matrix.Vector) (*Result, error) {
 	arr := linear.New(w)
 	var progs []*linear.Program
 	var progRow []int
-	offset := 0
+	// Back-to-back: each program advances the offset by its own span.
+	// Overlapped: the first program of a pair sits at offset o, the second
+	// at o+1 (spans are even, so pair starts stay even and the two programs
+	// keep opposite injection parities); the pair advances by max(spans).
+	offset, pairSpan := 0, 0
+	second := false
 	for r := 0; r < t.NBar; r++ {
 		cols := t.Retained[r]
 		if len(cols) == 0 {
 			continue
 		}
-		progs = append(progs, t.rowBandProgram(r, cols, xp, bp, offset))
+		span := 2*w*len(cols) + 2*w - 2
+		switch {
+		case !overlapped:
+			progs = append(progs, t.rowBandProgram(r, cols, xp, bp, offset))
+			offset += span
+		case !second:
+			progs = append(progs, t.rowBandProgram(r, cols, xp, bp, offset))
+			pairSpan = span
+			second = true
+		default:
+			progs = append(progs, t.rowBandProgram(r, cols, xp, bp, offset+1))
+			if span > pairSpan {
+				pairSpan = span
+			}
+			offset += pairSpan
+			second = false
+		}
 		progRow = append(progRow, r)
-		offset += 2*w*len(cols) + 2*w - 2
 	}
 
 	y := matrix.NewVector(t.NBar * w)

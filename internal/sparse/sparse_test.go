@@ -288,3 +288,210 @@ func TestSparsePassInto(t *testing.T) {
 		t.Errorf("warm compiled PassInto allocates %v objects/op, want 0", allocs)
 	}
 }
+
+// TestSparsePassIntoDstError is the regression for the dst-length panic:
+// a mismatched dst must come back as a returned error on both engines —
+// exactly like every other operand-length failure — so a malformed Into
+// job arriving through the stream surfaces as a validation error, not a
+// *core.PanicError. PassManyInto follows the same contract.
+func TestSparsePassIntoDstError(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	w := 2
+	a := blockSparse(rng, 3, 3, w, 0.6)
+	x := matrix.RandomVector(rng, 3*w, 4)
+	tr := NewMatVec(a, w)
+	ar := core.NewArena()
+	for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+		bad := make(matrix.Vector, tr.N-1)
+		if _, err := tr.PassInto(ar, bad, x, nil, eng); err == nil {
+			t.Errorf("%v: PassInto accepted a short dst", eng)
+		}
+		if _, err := tr.PassManyInto(ar, []matrix.Vector{bad}, []matrix.Vector{x}, nil, eng); err == nil {
+			t.Errorf("%v: PassManyInto accepted a short dst", eng)
+		}
+		if _, err := tr.PassManyInto(ar, []matrix.Vector{make(matrix.Vector, tr.N)}, []matrix.Vector{x, x}, nil, eng); err == nil {
+			t.Errorf("%v: PassManyInto accepted mismatched batch lengths", eng)
+		}
+	}
+	if _, err := tr.SolveMany(nil, nil, core.EngineCompiled); err == nil {
+		t.Error("SolveMany accepted an empty batch")
+	}
+	if _, err := tr.SolveMany([]matrix.Vector{x, x}, []matrix.Vector{nil}, core.EngineCompiled); err == nil {
+		t.Error("SolveMany accepted mismatched x/b batch lengths")
+	}
+	if _, err := tr.SolveMany([]matrix.Vector{x[:1]}, nil, core.EngineOracle); err == nil {
+		t.Error("SolveMany accepted a short x")
+	}
+}
+
+// TestSparseSolveMany: every Result of a batched solve is DeepEqual to the
+// independent SolveEngine call for that vector, on both engines and through
+// the arena-memo variant, including nil and per-entry-nil b batches.
+func TestSparseSolveMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ar := core.NewArena()
+	for _, w := range []int{1, 3, 4} {
+		for _, density := range []float64{0, 0.4, 1} {
+			nb, mb := 1+rng.Intn(4), 1+rng.Intn(4)
+			a := blockSparse(rng, nb, mb, w, density)
+			tr := NewMatVec(a, w)
+			k := 1 + rng.Intn(5)
+			xs := make([]matrix.Vector, k)
+			bs := make([]matrix.Vector, k)
+			for v := range xs {
+				xs[v] = matrix.RandomVector(rng, mb*w, 5)
+				if v%2 == 0 {
+					bs[v] = matrix.RandomVector(rng, nb*w, 5)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				bs = nil
+			}
+			for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled, core.EngineAuto} {
+				many, err := tr.SolveMany(xs, bs, eng)
+				if err != nil {
+					t.Fatalf("%v: %v", eng, err)
+				}
+				onArena, err := tr.SolveManyOn(ar, xs, bs, eng)
+				if err != nil {
+					t.Fatalf("SolveManyOn %v: %v", eng, err)
+				}
+				for v := range xs {
+					var bv matrix.Vector
+					if bs != nil {
+						bv = bs[v]
+					}
+					want, err := tr.SolveEngine(xs[v], bv, eng)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(many[v], want) {
+						t.Fatalf("%v w=%d k=%d: batched vector %d diverges:\nbatched %+v\nlooped  %+v", eng, w, k, v, many[v], want)
+					}
+					if !reflect.DeepEqual(onArena[v], want) {
+						t.Fatalf("SolveManyOn %v w=%d: vector %d diverges", eng, w, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSparsePassManyInto: the batched arena pass writes per vector exactly
+// what SolveEngine returns, and the warm compiled path allocates nothing.
+func TestSparsePassManyInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	w := 3
+	const k = 4
+	a := blockSparse(rng, 4, 4, w, 0.5)
+	tr := NewMatVec(a, w)
+	ar := core.NewArena()
+	xs := make([]matrix.Vector, k)
+	bs := make([]matrix.Vector, k)
+	dsts := make([]matrix.Vector, k)
+	for v := range xs {
+		xs[v] = matrix.RandomVector(rng, 4*w, 5)
+		bs[v] = matrix.RandomVector(rng, 4*w, 5)
+		dsts[v] = make(matrix.Vector, tr.N)
+	}
+	for _, eng := range []core.Engine{core.EngineOracle, core.EngineCompiled} {
+		ar.Reset()
+		steps, err := tr.PassManyInto(ar, dsts, xs, bs, eng)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		for v := range xs {
+			want, err := tr.SolveEngine(xs[v], bs[v], eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps != want.T || !dsts[v].Equal(want.Y, 0) {
+				t.Fatalf("%v: PassManyInto vector %d diverges: steps=%d want %d", eng, v, steps, want.T)
+			}
+		}
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		ar.Reset()
+		if _, err := tr.PassManyInto(ar, dsts, xs, bs, core.EngineCompiled); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm compiled PassManyInto allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestSparseOverlapped: the overlapped run computes the same values and
+// per-PE MAC counts as the back-to-back schedule in no more steps (strictly
+// fewer once two programs actually pair), both engines DeepEqual, and the
+// measured utilization matches MACs/(w·T) of the overlapped span.
+func TestSparseOverlapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, w := range []int{1, 2, 3, 4} {
+		for _, density := range []float64{0, 0.3, 0.7, 1} {
+			nb, mb := 1+rng.Intn(5), 1+rng.Intn(5)
+			a := blockSparse(rng, nb, mb, w, density)
+			x := matrix.RandomVector(rng, mb*w, 5)
+			b := matrix.RandomVector(rng, nb*w, 5)
+			tr := NewMatVec(a, w)
+			base, err := tr.SolveEngine(x, b, core.EngineOracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tr.SolveOverlapped(x, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range []core.Engine{core.EngineCompiled, core.EngineAuto} {
+				got, err := tr.SolveOverlappedEngine(x, b, eng)
+				if err != nil {
+					t.Fatalf("%v: %v", eng, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v overlap diverges from structural (w=%d n̄=%d m̄=%d):\ncompiled %+v\noracle   %+v",
+						eng, w, nb, mb, got, want)
+				}
+			}
+			if !want.Y.Equal(base.Y, 0) || !reflect.DeepEqual(want.MACs, base.MACs) || want.Q != base.Q {
+				t.Fatalf("w=%d: overlap changed the computation", w)
+			}
+			if want.T > base.T {
+				t.Fatalf("w=%d: overlapped T=%d exceeds back-to-back T=%d", w, want.T, base.T)
+			}
+			active := 0
+			for _, cols := range tr.Retained {
+				if len(cols) > 0 {
+					active++
+				}
+			}
+			if active >= 2 && w >= 2 && want.T >= base.T {
+				t.Fatalf("w=%d active=%d: overlap saved no cycles: T=%d vs %d", w, active, want.T, base.T)
+			}
+			if active >= 2 && want.Utilization <= base.Utilization {
+				t.Fatalf("w=%d: overlap did not lift utilization: %.4f vs %.4f", w, want.Utilization, base.Utilization)
+			}
+		}
+	}
+}
+
+// TestSparseKeyAllocFree pins Key()'s documented "allocation-free" claim:
+// the digest is a pure loop over the retained pattern and the key is a
+// value type, so recomputing it per submission costs no allocations.
+func TestSparseKeyAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation behavior")
+	}
+	rng := rand.New(rand.NewSource(53))
+	tr := NewMatVec(blockSparse(rng, 6, 6, 3, 0.5), 3)
+	var sink PatternKey
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = tr.Key()
+	})
+	if allocs != 0 {
+		t.Errorf("Key allocates %v objects/op, documented allocation-free", allocs)
+	}
+	_ = sink
+}

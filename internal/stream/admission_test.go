@@ -282,6 +282,36 @@ func TestSubmitWithRetry(t *testing.T) {
 			t.Fatalf("err=%v must still match the underlying ErrSaturated", err)
 		}
 	})
+	t.Run("already-expired deadline never submits", func(t *testing.T) {
+		// Regression: the deadline used to be checked only before sleeping,
+		// so a loop entered with a dead deadline still burned an attempt.
+		calls := 0
+		err := SubmitWithRetry(Retry{}, time.Now().Add(-time.Millisecond), func() error {
+			calls++
+			return nil
+		})
+		if !errors.Is(err, ErrDeadlineExceeded) || calls != 0 {
+			t.Fatalf("err=%v calls=%d, want ErrDeadlineExceeded before any attempt", err, calls)
+		}
+		var de *DeadlineError
+		if !errors.As(err, &de) || !de.Expired {
+			t.Fatalf("err=%v, want a *DeadlineError with Expired set", err)
+		}
+	})
+	t.Run("already-expired deadline never submits with context", func(t *testing.T) {
+		calls := 0
+		err := SubmitWithRetryContext(context.Background(), Retry{}, time.Now().Add(-time.Millisecond), func() error {
+			calls++
+			return nil
+		})
+		if !errors.Is(err, ErrDeadlineExceeded) || calls != 0 {
+			t.Fatalf("err=%v calls=%d, want ErrDeadlineExceeded before any attempt", err, calls)
+		}
+		var de *DeadlineError
+		if !errors.As(err, &de) || !de.Expired {
+			t.Fatalf("err=%v, want a *DeadlineError with Expired set", err)
+		}
+	})
 	t.Run("non-retryable errors return immediately", func(t *testing.T) {
 		calls := 0
 		err := SubmitWithRetry(Retry{Base: time.Microsecond}, time.Time{}, func() error {

@@ -22,6 +22,8 @@ const (
 	sparsePass
 	solveFull
 	solvePass
+	sparseBatch
+	sparseBatchPass
 )
 
 // job is one unit of stream work: inputs, the completion signal and the
@@ -50,6 +52,10 @@ type job struct {
 	// Sparse inputs (both variants; Into jobs reuse dst/x/b above).
 	sp *sparse.MatVec
 
+	// Sparse batch inputs (one job carries the whole batch, so the ticket,
+	// admission decision and queue slot are per batch, not per vector).
+	xs, bs, dsts []matrix.Vector
+
 	// Full-result inputs.
 	mvp core.MatVecProblem
 	mmp core.MatMulProblem
@@ -59,6 +65,7 @@ type job struct {
 	mvres   *core.MatVecResult
 	mmres   *core.MatMulResult
 	spres   *sparse.Result
+	spmany  []*sparse.Result
 	svx     matrix.Vector
 	svstats solve.SolveStats
 	err     error
@@ -108,6 +115,10 @@ func (j *job) RunPass(worker int, ar *core.Arena) {
 		j.spres, j.err = j.sp.SolveEngineOn(ar, j.x, j.b, j.eng)
 	case sparsePass:
 		j.steps, j.err = j.sp.PassInto(ar, j.dst, j.x, j.b, j.eng)
+	case sparseBatch:
+		j.spmany, j.err = j.sp.SolveManyOn(ar, j.xs, j.bs, j.eng)
+	case sparseBatchPass:
+		j.steps, j.err = j.sp.PassManyInto(ar, j.dsts, j.xs, j.bs, j.eng)
 	case solveFull:
 		ws := arenaSolveWorkspace(ar, j.w)
 		x, stats, err := ws.Solve(j.a, j.b, solve.Options{Engine: j.eng, Pivot: j.pivot, Refine: j.refine})
@@ -191,6 +202,22 @@ func (t SparseTicket) Wait() (*sparse.Result, error) {
 	j := t.j
 	<-j.done
 	res, err := j.spres, j.err
+	j.s.release(j)
+	return res, err
+}
+
+// SparseBatchTicket is the one-shot future of a SubmitSparseBatch job: one
+// ticket covers the whole batch.
+type SparseBatchTicket struct{ j *job }
+
+// Wait blocks until the batch finishes and returns its per-vector results —
+// each exactly what the serial sparse.MatVec.SolveEngine would return for
+// that vector, statistics included. See MatVecTicket.Wait for the
+// redemption rules.
+func (t SparseBatchTicket) Wait() ([]*sparse.Result, error) {
+	j := t.j
+	<-j.done
+	res, err := j.spmany, j.err
 	j.s.release(j)
 	return res, err
 }
@@ -291,6 +318,80 @@ func (s *Scheduler) SubmitSparseMatVecIntoQoS(dst matrix.Vector, t *sparse.MatVe
 	j.dst, j.x, j.b = dst, x, b
 	k := t.Key()
 	if err := s.enqueue(j, shardOf(s.fleet.Shards(), sparsePass, int(k.Digest), k.W, k.NBar, k.MBar)); err != nil {
+		return PassTicket{}, err
+	}
+	return PassTicket{j}, nil
+}
+
+// SubmitSparseBatch enqueues k sparse solves y_v = A·x_v + b_v sharing one
+// transformation as a single batched job — one ticket, one queue slot, one
+// admission decision for the whole batch — and returns its ticket. The
+// shard replays the pattern-keyed plan once over all k vectors
+// (sparse.MatVec.SolveManyOn), amortizing padding and plan resolution
+// across the batch; each returned Result is bit-identical to an
+// independent SubmitSparseMatVec of that vector. bs may be nil (every b is
+// zero) or hold nil entries; otherwise len(bs) must equal len(xs).
+// Routing follows the same pattern affinity as the single-vector sparse
+// jobs. The transformation and every vector must stay untouched until the
+// ticket is redeemed.
+func (s *Scheduler) SubmitSparseBatch(t *sparse.MatVec, xs, bs []matrix.Vector, eng core.Engine) (SparseBatchTicket, error) {
+	return s.SubmitSparseBatchQoS(t, xs, bs, eng, QoS{})
+}
+
+// SubmitSparseBatchQoS is SubmitSparseBatch with a deadline and priority
+// class attached; see QoS for the admission semantics. The deadline covers
+// the whole batch — a batch that expires queued resolves its one ticket
+// with the typed expiry error and computes nothing.
+func (s *Scheduler) SubmitSparseBatchQoS(t *sparse.MatVec, xs, bs []matrix.Vector, eng core.Engine, q QoS) (SparseBatchTicket, error) {
+	if len(xs) == 0 {
+		return SparseBatchTicket{}, fmt.Errorf("stream: empty sparse batch")
+	}
+	if bs != nil && len(bs) != len(xs) {
+		return SparseBatchTicket{}, fmt.Errorf("stream: batch has %d x vectors but %d b vectors", len(xs), len(bs))
+	}
+	j := s.get(q)
+	j.kind, j.eng, j.sp = sparseBatch, eng, t
+	j.xs, j.bs = xs, bs
+	k := t.Key()
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), sparseBatch, int(k.Digest), k.W, k.NBar, k.MBar)); err != nil {
+		return SparseBatchTicket{}, err
+	}
+	return SparseBatchTicket{j}, nil
+}
+
+// SubmitSparseBatchInto is the Into form of SubmitSparseBatch: the shard
+// writes dsts[v] = A·xs[v] + bs[v] for every vector in one batched pass
+// (sparse.MatVec.PassManyInto) and the ticket returns the per-pass step
+// count — the zero-allocation batch path once the pattern-affinity shard
+// is warm. Every dst must have length A.Rows() and must not alias any x or
+// b; the transformation, inputs and dsts must stay untouched until the
+// ticket is redeemed.
+func (s *Scheduler) SubmitSparseBatchInto(dsts []matrix.Vector, t *sparse.MatVec, xs, bs []matrix.Vector, eng core.Engine) (PassTicket, error) {
+	return s.SubmitSparseBatchIntoQoS(dsts, t, xs, bs, eng, QoS{})
+}
+
+// SubmitSparseBatchIntoQoS is SubmitSparseBatchInto with a deadline and
+// priority class attached; see QoS for the admission semantics.
+func (s *Scheduler) SubmitSparseBatchIntoQoS(dsts []matrix.Vector, t *sparse.MatVec, xs, bs []matrix.Vector, eng core.Engine, q QoS) (PassTicket, error) {
+	if len(xs) == 0 {
+		return PassTicket{}, fmt.Errorf("stream: empty sparse batch")
+	}
+	if len(dsts) != len(xs) {
+		return PassTicket{}, fmt.Errorf("stream: batch has %d dst vectors but %d x vectors", len(dsts), len(xs))
+	}
+	if bs != nil && len(bs) != len(xs) {
+		return PassTicket{}, fmt.Errorf("stream: batch has %d x vectors but %d b vectors", len(xs), len(bs))
+	}
+	for v := range dsts {
+		if len(dsts[v]) != t.N {
+			return PassTicket{}, fmt.Errorf("stream: batch dst %d len %d, want %d", v, len(dsts[v]), t.N)
+		}
+	}
+	j := s.get(q)
+	j.kind, j.eng, j.sp = sparseBatchPass, eng, t
+	j.dsts, j.xs, j.bs = dsts, xs, bs
+	k := t.Key()
+	if err := s.enqueue(j, shardOf(s.fleet.Shards(), sparseBatchPass, int(k.Digest), k.W, k.NBar, k.MBar)); err != nil {
 		return PassTicket{}, err
 	}
 	return PassTicket{j}, nil

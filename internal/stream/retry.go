@@ -26,10 +26,12 @@ type Retry struct {
 // capped exponential backoff and jitter. Only ErrSaturated is retried —
 // any other error (ErrClosed, a deadline shed, a dimension mismatch) is
 // the caller's problem and returns immediately. A non-zero deadline bounds
-// the whole loop: when the next backoff sleep would overrun it, the last
-// ErrSaturated is returned wrapped with ErrDeadlineExceeded so callers can
-// match either sentinel. The submit closure should capture a Submit* call
-// and return its error:
+// the whole loop: a deadline that has already passed fails fast with a
+// *DeadlineError (matched by errors.Is against ErrDeadlineExceeded)
+// before any submission attempt runs, and when the next backoff sleep
+// would overrun the deadline, the last ErrSaturated is returned wrapped
+// with ErrDeadlineExceeded so callers can match either sentinel. The
+// submit closure should capture a Submit* call and return its error:
 //
 //	tk, err := stream.SubmitWithRetry(stream.Retry{}, deadline, func() error {
 //		var err error
@@ -58,6 +60,12 @@ func submitWithRetry(ctx context.Context, r Retry, deadline time.Time, submit fu
 	}
 	if r.Cap <= 0 {
 		r.Cap = 10 * time.Millisecond
+	}
+	// A deadline that passed before the loop even starts: fail fast with
+	// the typed expiry instead of burning a submission attempt the caller's
+	// deadline already disallows.
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return fmt.Errorf("stream: retry deadline already passed: %w", &DeadlineError{Expired: true})
 	}
 	backoff := r.Base
 	for attempt := 1; ; attempt++ {

@@ -259,8 +259,9 @@ func (s *Scheduler) release(j *job) {
 	j.dst, j.a, j.x, j.b = nil, nil, nil, nil
 	j.mdst, j.ma, j.mb, j.me = nil, nil, nil, nil
 	j.sp = nil
+	j.xs, j.bs, j.dsts = nil, nil, nil
 	j.mvp, j.mmp = core.MatVecProblem{}, core.MatMulProblem{}
-	j.mvres, j.mmres, j.spres = nil, nil, nil
+	j.mvres, j.mmres, j.spres, j.spmany = nil, nil, nil, nil
 	j.svx, j.svstats = nil, solve.SolveStats{}
 	j.pivot, j.refine = solve.PivotNone, solve.RefineOptions{}
 	j.steps, j.err = 0, nil

@@ -70,6 +70,13 @@ type StreamSolveTicket = stream.SolveTicket
 // stats by value — the zero-allocation solve-as-a-service path.
 type StreamSolvePassTicket = stream.SolvePassTicket
 
+// StreamSparseBatchTicket is the one-shot future of a
+// Stream.SubmitSparseBatch job: k right-hand sides through one
+// pattern-keyed plan as a single ticket — one routing and admission
+// decision for the whole batch — with Wait returning one Result per
+// vector, each exactly what the per-vector serial solve would return.
+type StreamSparseBatchTicket = stream.SparseBatchTicket
+
 // NewStream starts a stream scheduler; Close it when done. Typical use:
 //
 //	s := repro.NewStream(repro.StreamConfig{Shards: 4})
